@@ -1,0 +1,199 @@
+package nestedenclave_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation,
+// plus the ablations. Each delegates to the harness in internal/bench; the
+// cmd/repro binary prints the full paper-style tables, while these benches
+// integrate with `go test -bench` tooling and report the headline metric of
+// each experiment through b.ReportMetric.
+//
+// Run everything:   go test -bench=. -benchmem
+// One experiment:   go test -bench=BenchmarkFigure11 -benchtime=1x
+
+import (
+	"testing"
+
+	"nestedenclave/internal/bench"
+	"nestedenclave/internal/ycsb"
+)
+
+// BenchmarkTableII_Transitions measures ecall/ocall vs n_ecall/n_ocall
+// latency (paper Table II).
+func BenchmarkTableII_Transitions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.TableII(20_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.EmuSGXEcallUS, "emu-ecall-us")
+		b.ReportMetric(res.EmuNestEcallUS, "emu-n_ecall-us")
+		b.ReportMetric(res.HWEcallUS, "model-ecall-us")
+		b.ReportMetric(res.HWNestEcallUS, "model-n_ecall-us")
+	}
+}
+
+// BenchmarkTableIII_PortedLOC recounts the porting surface (paper Table III).
+func BenchmarkTableIII_PortedLOC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.TableIII()
+		total := 0
+		for _, r := range rows {
+			total += r.PortedLOC
+		}
+		b.ReportMetric(float64(total), "ported-loc")
+	}
+}
+
+// BenchmarkTableVI_SQLiteYCSB runs the four YCSB mixes (paper Table VI).
+func BenchmarkTableVI_SQLiteYCSB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.TableVI(ycsb.Config{Records: 500, Operations: 2000, FieldLen: 100, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var norm, equiv float64
+		for _, r := range rows {
+			norm += r.Normalized
+			equiv += r.SQLiteEquivNorm
+		}
+		b.ReportMetric(norm/float64(len(rows)), "normalized")
+		b.ReportMetric(equiv/float64(len(rows)), "sqlite-equiv-norm")
+	}
+}
+
+// BenchmarkTableVII_Attacks executes the security analysis (paper Table VII).
+func BenchmarkTableVII_Attacks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.TableVII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reproduced := 0
+		for _, r := range rows {
+			if r.Reproduced {
+				reproduced++
+			}
+		}
+		if reproduced != len(rows) {
+			b.Fatalf("only %d/%d attacks reproduced", reproduced, len(rows))
+		}
+		b.ReportMetric(float64(reproduced), "attacks-reproduced")
+	}
+}
+
+// BenchmarkFigure7_EchoServer measures SSL echo throughput (paper Figure 7).
+func BenchmarkFigure7_EchoServer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure7([]int{128, 1024, 16384}, 1500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var norm float64
+		for _, r := range rows {
+			norm += r.Normalized
+		}
+		b.ReportMetric(norm/float64(len(rows)), "normalized")
+	}
+}
+
+// BenchmarkFigure9_LibSVM measures SVM train/predict (paper Figure 9).
+func BenchmarkFigure9_LibSVM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure9(0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var train float64
+		for _, r := range rows {
+			train += r.TrainNorm
+		}
+		b.ReportMetric(train/float64(len(rows)), "train-normalized")
+	}
+}
+
+// BenchmarkFigure10_Loading measures enclave loading with library sharing
+// (paper Figure 10). -short shrinks the fleet.
+func BenchmarkFigure10_Loading(b *testing.B) {
+	cfg := bench.Figure10Config{Apps: 12, SSLOuters: []int{12, 4, 1}, SSLPages: 256, AppPages: 64}
+	if testing.Short() {
+		cfg = bench.Figure10Config{Apps: 4, SSLOuters: []int{4, 1}, SSLPages: 64, AppPages: 16}
+	}
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: footprint saving of maximal sharing vs combined baseline.
+		baseline := rows[1].FootprintMB
+		shared := rows[len(rows)-1].FootprintMB
+		b.ReportMetric(baseline/shared, "footprint-saving-x")
+	}
+}
+
+// BenchmarkFigure11_Channels measures the MEE vs GCM channel throughput
+// (paper Figure 11).
+func BenchmarkFigure11_Channels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure11([]int{2}, []int{64, 4096, 65536}, 1<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Speedup, "speedup-64B-x")
+		b.ReportMetric(rows[len(rows)-1].Speedup, "speedup-64KB-x")
+	}
+}
+
+// BenchmarkAblationTransitionPath contrasts the direct NEENTER/NEEXIT path
+// with the monolithic exit-and-re-enter detour.
+func BenchmarkAblationTransitionPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.AblationTransitionPath(10_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.DetourCycles)/float64(res.DirectCycles), "detour-cost-x")
+	}
+}
+
+// BenchmarkAblationShootdown contrasts precise inner-aware ETRACK tracking
+// with broadcast shootdowns.
+func BenchmarkAblationShootdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.AblationShootdown(30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.BroadcastIPIs)/float64(max64(res.PreciseIPIs, 1)), "broadcast-ipi-x")
+	}
+}
+
+// BenchmarkAblationTLBFlush quantifies the mandatory per-transition TLB
+// flush (flushes, induced refills, cycle share).
+func BenchmarkAblationTLBFlush(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.AblationTLBFlush(3000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FlushesPerCall, "flushes-per-call")
+		b.ReportMetric(res.FlushCycleShare, "flush-cycle-share")
+	}
+}
+
+// BenchmarkAblationNestingDepth measures validation cost growth with
+// nesting depth (paper §VIII).
+func BenchmarkAblationNestingDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationNestingDepth([]int{2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[1].ValidateSteps)/float64(rows[0].ValidateSteps), "depth4-vs-2-steps-x")
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

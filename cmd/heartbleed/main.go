@@ -1,0 +1,79 @@
+// Command heartbleed demonstrates the confinement case study (paper §VI-A)
+// interactively: it mounts the CVE-2014-0160 attack against an SSL echo
+// server twice — once with the vulnerable library sharing the application's
+// enclave (the current SGX model), once with the library confined to an
+// outer enclave and the application in an inner enclave — and prints what
+// the attacker's heartbeat response contained in each case.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"nestedenclave/internal/bench"
+	"nestedenclave/internal/ssl"
+)
+
+func run() error {
+	secret := []byte("TOP-SECRET: user 4242's session token = a1b2c3d4e5f6")
+
+	for _, nested := range []bool{false, true} {
+		model := "monolithic enclave (SGX baseline)"
+		if nested {
+			model = "nested enclave (library confined to the outer enclave)"
+		}
+		fmt.Printf("=== %s ===\n", model)
+
+		r := bench.NewRig(bench.SmallMachine())
+		es, err := bench.BuildEchoServer(r, nested, true /* vulnerable OpenSSL build */)
+		if err != nil {
+			return err
+		}
+		if _, err := es.App.ECall("plant_secret", secret); err != nil {
+			return err
+		}
+		fmt.Printf("application stored a secret in its enclave heap: %q\n", secret)
+
+		client, err := es.Connect(ssl.Config{MinVersion: ssl.VersionTLS12Like})
+		if err != nil {
+			return err
+		}
+		fmt.Println("attacker completed a legitimate TLS handshake")
+
+		req, err := client.Heartbeat([]byte("x"), 16*1024)
+		if err != nil {
+			return err
+		}
+		fmt.Println("attacker sent a heartbeat with 1 payload byte, claiming 16384")
+		resp, err := es.Entry.ECall("tls_record", req)
+		if err != nil {
+			return err
+		}
+		leak, err := client.OpenHeartbeatResponse(resp)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("server echoed %d bytes\n", len(leak))
+		if i := bytes.Index(leak, secret); i >= 0 {
+			fmt.Printf("*** SECRET LEAKED at offset %d: %q ***\n\n", i, leak[i:i+len(secret)])
+		} else {
+			ones := 0
+			for _, b := range leak {
+				if b == 0xFF {
+					ones++
+				}
+			}
+			fmt.Printf("no secret in the response (%d of %d bytes are 0xFF abort-page filler)\n\n",
+				ones, len(leak))
+		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "heartbleed:", err)
+		os.Exit(1)
+	}
+}

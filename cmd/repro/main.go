@@ -1,0 +1,201 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md for the experiment index):
+//
+//	repro                      # run everything at default scale
+//	repro -only table2,fig11   # a subset
+//	repro -full                # paper-scale parameters (slow, needs RAM)
+//	repro -list                # list experiment names
+//
+// Output is printed as aligned text tables; each carries a note with the
+// paper's reported numbers for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nestedenclave/internal/bench"
+	"nestedenclave/internal/ycsb"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(full bool) error
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"table2", "enclave transition latencies", func(full bool) error {
+			iters := 100_000
+			if full {
+				iters = 1_000_000 // the paper's count
+			}
+			res, err := bench.TableII(iters)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+			return nil
+		}},
+		{"table3", "modified LOC for porting", func(bool) error {
+			fmt.Println(bench.RenderTableIII(bench.TableIII()))
+			return nil
+		}},
+		{"table4", "MLS data classification", func(bool) error {
+			fmt.Println(bench.TableIV())
+			return nil
+		}},
+		{"table5", "dataset shapes", func(bool) error {
+			fmt.Println(bench.TableVRender())
+			return nil
+		}},
+		{"table6", "SQLite YCSB throughput", func(full bool) error {
+			cfg := ycsb.DefaultConfig()
+			if !full {
+				cfg.Operations = 3000
+			}
+			rows, err := bench.TableVI(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderTableVI(rows))
+			return nil
+		}},
+		{"table7", "security analysis (executed attacks)", func(bool) error {
+			rows, err := bench.TableVII()
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderTableVII(rows))
+			return nil
+		}},
+		{"fig7", "echo server throughput", func(full bool) error {
+			msgs := 3000
+			if full {
+				msgs = 20_000
+			}
+			rows, err := bench.Figure7(bench.Figure7Chunks(), msgs)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderFigure7(rows))
+			return nil
+		}},
+		{"fig9", "LibSVM train/predict", func(full bool) error {
+			scale := 0.02
+			if full {
+				scale = 0.2 // full Table V sizes are hours of SMO; 0.2 preserves the ratios
+			}
+			rows, err := bench.Figure9(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderFigure9(rows, scale))
+			return nil
+		}},
+		{"fig10", "enclave loading and footprint", func(full bool) error {
+			cfg := bench.DefaultFigure10Config()
+			if full {
+				cfg.Apps = 500
+				cfg.SSLOuters = []int{500, 250, 100, 50, 10, 1}
+			}
+			rows, err := bench.Figure10(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderFigure10(rows, cfg))
+			return nil
+		}},
+		{"fig11", "MEE vs GCM channel throughput", func(full bool) error {
+			traffic := 0 // 2x footprint
+			footprints := bench.Figure11Footprints()
+			chunks := bench.Figure11Chunks()
+			if !full {
+				chunks = []int{64, 1024, 16384, 65536}
+			}
+			rows, err := bench.Figure11(footprints, chunks, traffic)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderFigure11(rows))
+			return nil
+		}},
+		{"ablation", "design-choice ablations", func(full bool) error {
+			iters := 20_000
+			if !full {
+				iters = 5_000
+			}
+			tr, err := bench.AblationTransitionPath(iters)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderAblationTransition(tr))
+			sd, err := bench.AblationShootdown(50)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderAblationShootdown(sd))
+			tf, err := bench.AblationTLBFlush(iters)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderAblationTLBFlush(tf))
+			dp, err := bench.AblationNestingDepth(nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderAblationDepth(dp))
+			return nil
+		}},
+	}
+}
+
+func main() {
+	full := flag.Bool("full", false, "run at the paper's scale (slow; fig10 needs several GB of RAM)")
+	only := flag.String("only", "", "comma-separated experiment names (default: all)")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	exps := experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-10s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		for n := range want {
+			found := false
+			for _, e := range exps {
+				if e.name == n {
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", n)
+				os.Exit(2)
+			}
+		}
+	}
+	failed := false
+	for _, e := range exps {
+		if len(want) > 0 && !want[e.name] {
+			continue
+		}
+		fmt.Printf("--- %s: %s ---\n", e.name, e.desc)
+		if err := e.run(*full); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

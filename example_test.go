@@ -1,0 +1,48 @@
+package nestedenclave_test
+
+import (
+	"fmt"
+
+	ne "nestedenclave"
+)
+
+// Example demonstrates the minimal nested-enclave flow: load an outer
+// library enclave and an inner application enclave, associate them with
+// NASSO, and run an ecall that crosses into the inner enclave and calls
+// back into the outer library — all without leaving protected mode.
+func Example() {
+	sys := ne.NewSystem()
+	author := ne.NewAuthor()
+
+	outerImg := ne.NewImage("lib", 0x2000_0000, ne.DefaultLayout())
+	innerImg := ne.NewImage("app", 0x1000_0000, ne.DefaultLayout())
+
+	outerImg.RegisterNOCall("shout", func(env *ne.Env, args []byte) ([]byte, error) {
+		return append(args, '!'), nil
+	})
+	outerImg.RegisterECall("run", func(env *ne.Env, args []byte) ([]byte, error) {
+		return env.NECall(env.E.Inners()[0], "work", args) // n_ecall
+	})
+	innerImg.RegisterECall("work", func(env *ne.Env, args []byte) ([]byte, error) {
+		return env.NOCall("shout", args) // n_ocall
+	})
+
+	outer, err := sys.Load(outerImg.Sign(author, nil, []ne.Digest{innerImg.Measure()}))
+	if err != nil {
+		panic(err)
+	}
+	inner, err := sys.Load(innerImg.Sign(author, []ne.Digest{outerImg.Measure()}, nil))
+	if err != nil {
+		panic(err)
+	}
+	if err := sys.Associate(inner, outer); err != nil { // NASSO
+		panic(err)
+	}
+
+	out, err := outer.ECall("run", []byte("nested"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(string(out))
+	// Output: nested!
+}

@@ -1,0 +1,192 @@
+// Confinement (paper §VI-A): a TLS echo server whose SSL library contains
+// the Heartbleed bug, deployed both ways.
+//
+// In the monolithic build the library and the application share one enclave
+// — the over-read in the heartbeat handler walks straight into the
+// application's heap and exfiltrates its secret. In the nested build the
+// same buggy library runs in the outer enclave while the application and
+// its secret live in an inner enclave the library cannot read.
+//
+// Run:  go run ./examples/confinement
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	ne "nestedenclave"
+	"nestedenclave/internal/isa"
+	"nestedenclave/internal/ssl"
+)
+
+// envMem adapts the per-call Env to the SSL library's memory interface.
+type envMem struct{ env *ne.Env }
+
+func (m *envMem) Read(v isa.VAddr, n int) ([]byte, error) { return m.env.Read(v, n) }
+func (m *envMem) Write(v isa.VAddr, b []byte) error       { return m.env.Write(v, b) }
+func (m *envMem) Malloc(n int) (isa.VAddr, error)         { return m.env.Malloc(n) }
+func (m *envMem) Free(v isa.VAddr) error                  { return m.env.Free(v) }
+
+// deployment wires the vulnerable SSL library into one or two enclaves.
+type deployment struct {
+	entry *ne.Enclave // where TLS records arrive (hosts the library)
+	app   *ne.Enclave // where the application secret lives
+}
+
+func registerLibrary(img *ne.Image, srv **ssl.Server, mem *envMem, nested bool) {
+	cfg := ssl.Config{Vulnerable: true, MinVersion: ssl.VersionTLS12Like}
+	img.RegisterECall("hello", func(env *ne.Env, args []byte) ([]byte, error) {
+		mem.env = env
+		s, err := ssl.NewServer(cfg, mem)
+		if err != nil {
+			return nil, err
+		}
+		*srv = s
+		return s.HandleClientHello(args)
+	})
+	img.RegisterECall("finish", func(env *ne.Env, args []byte) ([]byte, error) {
+		mem.env = env
+		return nil, (*srv).HandleClientFinished(args)
+	})
+	img.RegisterECall("record", func(env *ne.Env, args []byte) ([]byte, error) {
+		mem.env = env
+		handler := func(req []byte) []byte { return req }
+		if nested {
+			handler = func(req []byte) []byte {
+				resp, err := env.NECall(env.E.Inners()[0], "handle", req)
+				if err != nil {
+					return nil
+				}
+				return resp
+			}
+		}
+		return (*srv).ProcessRecord(args, handler)
+	})
+}
+
+func registerApp(img *ne.Image) {
+	img.RegisterECall("handle", func(env *ne.Env, args []byte) ([]byte, error) {
+		return args, nil
+	})
+	img.RegisterECall("store_secret", func(env *ne.Env, args []byte) ([]byte, error) {
+		// The classic arrangement: a freed low buffer (later reused by the
+		// record layer) with the secret living right above it.
+		hole, err := env.Malloc(1024)
+		if err != nil {
+			return nil, err
+		}
+		addr, err := env.Malloc(len(args))
+		if err != nil {
+			return nil, err
+		}
+		if err := env.Write(addr, args); err != nil {
+			return nil, err
+		}
+		return nil, env.Free(hole)
+	})
+}
+
+func deploy(sys *ne.System, nested bool) (*deployment, error) {
+	var srv *ssl.Server
+	mem := &envMem{}
+	base := uint64(0x1000_0000)
+	if nested {
+		base = 0x7000_0000 // keep the two deployments' ELRANGEs apart
+	}
+	if !nested {
+		img := ne.NewImage("server", base, ne.DefaultLayout())
+		registerLibrary(img, &srv, mem, false)
+		registerApp(img)
+		e, err := sys.Load(img.Sign(ne.NewAuthor(), nil, nil))
+		if err != nil {
+			return nil, err
+		}
+		return &deployment{entry: e, app: e}, nil
+	}
+	libImg := ne.NewImage("ssl-lib", base, ne.DefaultLayout())
+	appImg := ne.NewImage("app", base+0x1000_0000, ne.DefaultLayout())
+	registerLibrary(libImg, &srv, mem, true)
+	registerApp(appImg)
+	author := ne.NewAuthor()
+	lib, err := sys.Load(libImg.Sign(author, nil, []ne.Digest{appImg.Measure()}))
+	if err != nil {
+		return nil, err
+	}
+	app, err := sys.Load(appImg.Sign(author, []ne.Digest{libImg.Measure()}, nil))
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Associate(app, lib); err != nil {
+		return nil, err
+	}
+	return &deployment{entry: lib, app: app}, nil
+}
+
+func attack(d *deployment, secret []byte) ([]byte, error) {
+	if _, err := d.app.ECall("store_secret", secret); err != nil {
+		return nil, err
+	}
+	client, err := ssl.NewClient(ssl.Config{MinVersion: ssl.VersionTLS12Like})
+	if err != nil {
+		return nil, err
+	}
+	sh, err := d.entry.ECall("hello", client.Hello())
+	if err != nil {
+		return nil, err
+	}
+	cf, err := client.HandleServerHello(sh)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.entry.ECall("finish", cf); err != nil {
+		return nil, err
+	}
+	// Sanity: the server still echoes ordinary traffic.
+	rec, _ := client.Send([]byte("ping"))
+	resp, err := d.entry.ECall("record", rec)
+	if err != nil {
+		return nil, err
+	}
+	if _, pt, err := client.Recv(resp); err != nil || string(pt) != "ping" {
+		return nil, fmt.Errorf("echo broken: %q %v", pt, err)
+	}
+	// The crafted heartbeat.
+	hb, err := client.Heartbeat([]byte("x"), 8*1024)
+	if err != nil {
+		return nil, err
+	}
+	resp, err = d.entry.ECall("record", hb)
+	if err != nil {
+		return nil, err
+	}
+	return client.OpenHeartbeatResponse(resp)
+}
+
+func main() {
+	secret := []byte("CUSTOMER-RECORD: card=4111-1111-1111-1111 cvv=042")
+	sys := ne.NewSystem()
+
+	for _, nested := range []bool{false, true} {
+		name := "monolithic"
+		if nested {
+			name = "nested"
+		}
+		d, err := deploy(sys, nested)
+		if err != nil {
+			log.Fatalf("%s deploy: %v", name, err)
+		}
+		leak, err := attack(d, secret)
+		if err != nil {
+			log.Fatalf("%s attack: %v", name, err)
+		}
+		if i := bytes.Index(leak, secret); i >= 0 {
+			fmt.Printf("%-10s: HEARTBLEED LEAKED the application secret at offset %d\n", name, i)
+		} else {
+			fmt.Printf("%-10s: heartbeat over-read returned %d bytes, none of them the secret\n",
+				name, len(leak))
+		}
+	}
+	fmt.Println("\nthe same vulnerable library ran in both deployments;")
+	fmt.Println("only the enclave boundary between library and application changed.")
+}

@@ -1,0 +1,204 @@
+// ML-as-a-service (paper §VI-B, Figure 8): one shared SVM library enclave
+// serves several mutually distrusting users, each with a private inner
+// enclave that decrypts and anonymizes that user's data before the library
+// ever sees it.
+//
+// The example trains one model per user on their own (synthetic) dataset,
+// then demonstrates the isolation matrix: each user's raw data is readable
+// only inside that user's inner enclave — not by the shared library, not by
+// the sibling user, not by the host.
+//
+// Run:  go run ./examples/mlservice
+package main
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/gob"
+	"fmt"
+	"log"
+
+	ne "nestedenclave"
+	"nestedenclave/internal/datasets"
+	"nestedenclave/internal/isa"
+	"nestedenclave/internal/svm"
+)
+
+type payload struct {
+	X [][]float64
+	Y []int
+}
+
+func seal(key [16]byte, v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic(err)
+	}
+	block, _ := aes.NewCipher(key[:])
+	aead, _ := cipher.NewGCM(block)
+	return aead.Seal(nil, make([]byte, aead.NonceSize()), buf.Bytes(), nil)
+}
+
+func open(key [16]byte, ct []byte, v any) error {
+	block, _ := aes.NewCipher(key[:])
+	aead, _ := cipher.NewGCM(block)
+	pt, err := aead.Open(nil, make([]byte, aead.NonceSize()), ct, nil)
+	if err != nil {
+		return err
+	}
+	return gob.NewDecoder(bytes.NewReader(pt)).Decode(v)
+}
+
+type user struct {
+	name    string
+	key     [16]byte
+	enclave *ne.Enclave
+	rawAddr isa.VAddr // where the inner staged this user's raw data
+}
+
+func main() {
+	sys := ne.NewSystem()
+	author := ne.NewAuthor()
+
+	// The shared library enclave, exposing SVM training to its inners.
+	libImg := ne.NewImage("libsvm", 0x9000_0000, ne.DefaultLayout())
+	models := map[string]*svm.MultiModel{}
+	libImg.RegisterNOCall("svm_train", func(env *ne.Env, args []byte) ([]byte, error) {
+		var req struct {
+			User string
+			P    payload
+		}
+		if err := gob.NewDecoder(bytes.NewReader(args)).Decode(&req); err != nil {
+			return nil, err
+		}
+		mm, err := svm.TrainMulti(svm.Problem{X: req.P.X, Y: req.P.Y}, svm.Param{Kernel: svm.RBF, C: 4})
+		if err != nil {
+			return nil, err
+		}
+		models[req.User] = mm
+		acc := mm.Accuracy(req.P.X, req.P.Y)
+		return []byte(fmt.Sprintf("trained on %d filtered samples, train-accuracy %.0f%%",
+			len(req.P.X), acc*100)), nil
+	})
+	libImg.RegisterECall("probe", func(env *ne.Env, args []byte) ([]byte, error) {
+		// The library tries to read a user's raw data directly.
+		addr := isa.VAddr(uint64(args[0]) | uint64(args[1])<<8 | uint64(args[2])<<16 | uint64(args[3])<<24 |
+			uint64(args[4])<<32 | uint64(args[5])<<40 | uint64(args[6])<<48 | uint64(args[7])<<56)
+		return env.Read(addr, 32)
+	})
+
+	// Per-user inner enclave images: decrypt, anonymize (drop column 0, the
+	// "sensitive" feature), and hand the filtered data to the library.
+	users := []*user{
+		{name: "alice", key: [16]byte{1}},
+		{name: "bob", key: [16]byte{2}},
+	}
+	userImgs := make([]*ne.Image, len(users))
+	for i, u := range users {
+		u := u
+		img := ne.NewImage("user-"+u.name, uint64(0x1000_0000*(i+1)), ne.DefaultLayout())
+		img.RegisterECall("train", func(env *ne.Env, args []byte) ([]byte, error) {
+			var p payload
+			if err := open(u.key, args, &p); err != nil {
+				return nil, err
+			}
+			// Stage a raw-data sample in inner memory (the probe target).
+			addr, err := env.Malloc(32)
+			if err != nil {
+				return nil, err
+			}
+			u.rawAddr = addr
+			raw := []byte(fmt.Sprintf("RAW[%s] x0=%+.4f y=%d", u.name, p.X[0][0], p.Y[0]))
+			if err := env.Write(addr, raw); err != nil {
+				return nil, err
+			}
+			// Anonymize: zero the sensitive column before the library sees
+			// anything.
+			for _, x := range p.X {
+				x[0] = 0
+			}
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(struct {
+				User string
+				P    payload
+			}{u.name, p}); err != nil {
+				return nil, err
+			}
+			return env.NOCall("svm_train", buf.Bytes())
+		})
+		img.RegisterECall("spy", func(env *ne.Env, args []byte) ([]byte, error) {
+			other := isa.VAddr(uint64(args[0]) | uint64(args[1])<<8 | uint64(args[2])<<16 |
+				uint64(args[3])<<24 | uint64(args[4])<<32 | uint64(args[5])<<40 |
+				uint64(args[6])<<48 | uint64(args[7])<<56)
+			return env.Read(other, 32)
+		})
+		userImgs[i] = img
+	}
+
+	// Sign and load: the library's certificate admits both user images.
+	var userDigests []ne.Digest
+	for _, img := range userImgs {
+		userDigests = append(userDigests, img.Measure())
+	}
+	lib, err := sys.Load(libImg.Sign(author, nil, userDigests))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, u := range users {
+		e, err := sys.Load(userImgs[i].Sign(author, []ne.Digest{libImg.Measure()}, nil))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Associate(e, lib); err != nil {
+			log.Fatal(err)
+		}
+		u.enclave = e
+	}
+
+	// Each user trains on their own encrypted dataset.
+	for i, u := range users {
+		d := datasets.Generate(datasets.Spec{
+			Name: u.name, Classes: 2, Train: 120, Features: 6,
+		}, int64(i+1))
+		out, err := u.enclave.ECall("train", seal(u.key, payload{X: d.TrainX, Y: d.TrainY}))
+		if err != nil {
+			log.Fatalf("%s: %v", u.name, err)
+		}
+		fmt.Printf("%s: %s\n", u.name, out)
+	}
+
+	// Isolation matrix: who can read alice's raw data?
+	addrArg := make([]byte, 8)
+	for i := range addrArg {
+		addrArg[i] = byte(uint64(users[0].rawAddr) >> (8 * i))
+	}
+	allFF := func(b []byte) bool {
+		for _, x := range b {
+			if x != 0xFF {
+				return false
+			}
+		}
+		return true
+	}
+	libView, err := lib.ECall("probe", addrArg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bobView, err := users[1].enclave.ECall("spy", addrArg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := sys.Machine.Core(0)
+	if err := sys.Kernel.Schedule(c, sys.Host.Proc); err != nil {
+		log.Fatal(err)
+	}
+	hostView, err := c.Read(users[0].rawAddr, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwho can read alice's raw (pre-anonymization) data?\n")
+	fmt.Printf("  shared SVM library: blocked=%v\n", allFF(libView))
+	fmt.Printf("  user bob:           blocked=%v\n", allFF(bobView))
+	fmt.Printf("  untrusted host:     blocked=%v\n", allFF(hostView))
+}

@@ -1,0 +1,3 @@
+module nestedenclave
+
+go 1.24

@@ -1,0 +1,145 @@
+// Package bench is the experiment harness: one entry point per table and
+// figure of the paper's evaluation (§V–§VI), each returning the same
+// rows/series the paper reports. The cmd/repro binary prints them; the
+// root-level bench_test.go exposes each as a testing.B benchmark.
+//
+// Experiment index (see DESIGN.md for the full mapping):
+//
+//	TableII   — enclave transition latencies
+//	TableIII  — lines of code modified to port the case studies
+//	TableIV   — MLS data classification of the case studies
+//	TableV    — dataset shapes
+//	TableVI   — SQLite/YCSB normalized throughput
+//	TableVII  — security analysis (executed attacks)
+//	Figure7   — SSL echo-server throughput vs chunk size
+//	Figure9   — LibSVM train/predict normalized execution time
+//	Figure10  — enclave load time and memory footprint vs sharing degree
+//	Figure11  — intra-enclave (MEE) vs AES-GCM channel throughput
+//	Ablation* — design-choice ablations (DESIGN.md)
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"nestedenclave/internal/core"
+	"nestedenclave/internal/kos"
+	"nestedenclave/internal/measure"
+	"nestedenclave/internal/sdk"
+	"nestedenclave/internal/sgx"
+)
+
+// Rig is a booted simulator used by experiments.
+type Rig struct {
+	M    *sgx.Machine
+	K    *kos.Kernel
+	Ext  *core.Extension
+	Host *sdk.Host
+}
+
+// NewRig boots a nested-enabled machine with the given machine config
+// (zero-value: the default i7-7700-like machine).
+func NewRig(cfg sgx.Config) *Rig {
+	if cfg.Cores == 0 {
+		cfg = sgx.DefaultConfig()
+	}
+	m := sgx.MustNew(cfg)
+	ext := core.Enable(m, core.TwoLevel())
+	k := kos.New(m)
+	return &Rig{M: m, K: k, Ext: ext, Host: sdk.NewHost(k, ext)}
+}
+
+// SignPair signs an inner/outer image pair with mutual expected
+// measurements and a shared author.
+func SignPair(inner, outer *sdk.Image) (*sdk.SignedImage, *sdk.SignedImage) {
+	author := measure.MustNewAuthor()
+	si := inner.Sign(author, []measure.Digest{outer.Measure()}, nil)
+	so := outer.Sign(author, nil, []measure.Digest{inner.Measure()})
+	return si, so
+}
+
+// LoadPair loads and associates an inner/outer pair.
+func (r *Rig) LoadPair(innerImg, outerImg *sdk.Image) (inner, outer *sdk.Enclave, err error) {
+	si, so := SignPair(innerImg, outerImg)
+	if outer, err = r.Host.Load(so); err != nil {
+		return nil, nil, err
+	}
+	if inner, err = r.Host.Load(si); err != nil {
+		return nil, nil, err
+	}
+	if err = r.Host.Associate(inner, outer); err != nil {
+		return nil, nil, err
+	}
+	return inner, outer, nil
+}
+
+// LoadSolo loads a standalone enclave.
+func (r *Rig) LoadSolo(img *sdk.Image) (*sdk.Enclave, error) {
+	return r.Host.Load(img.Sign(measure.MustNewAuthor(), nil, nil))
+}
+
+// SmallMachine sizes a machine for experiments that need little EPC.
+func SmallMachine() sgx.Config { return sgx.SmallConfig() }
+
+// CPUFreqGHz converts the simulated cycle model into times: the paper's
+// testbed i7-7700 runs at 3.6–4.2 GHz; 4.0 is used throughout.
+const CPUFreqGHz = 4.0
+
+// CyclesToUS converts model cycles to microseconds.
+func CyclesToUS(cycles int64) float64 { return float64(cycles) / (CPUFreqGHz * 1e3) }
+
+// Table renders rows of labelled values as an aligned text table, the
+// format cmd/repro prints.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// f2, f3 format floats compactly.
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }

@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+
+	"nestedenclave/internal/channel"
+	"nestedenclave/internal/kos"
+	"nestedenclave/internal/ssl"
+)
+
+// This file executes the paper's Table VII security analysis: every attack
+// is actually mounted against both builds, and the table reports what
+// happened — not what should happen.
+
+// TableVIIRow is one attack row.
+type TableVIIRow struct {
+	Attack     string
+	Monolithic string // observed outcome on the baseline
+	Nested     string // observed outcome with nested enclave
+	Protection string // the mechanism responsible
+	// Reproduced is true when the baseline attack succeeded AND the nested
+	// build stopped it — the paper's claim.
+	Reproduced bool
+}
+
+// TableVII mounts all three attacks.
+func TableVII() ([]TableVIIRow, error) {
+	var rows []TableVIIRow
+
+	hb, err := heartbleedAttack()
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, *hb)
+
+	ml, err := libraryReadAttack()
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, *ml)
+
+	ipc, err := ipcControlAttack()
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, *ipc)
+	return rows, nil
+}
+
+// heartbleedAttack reproduces §VI-A: the vulnerable SSL library over-reads
+// its heap in response to a crafted heartbeat.
+func heartbleedAttack() (*TableVIIRow, error) {
+	secret := []byte("HEARTBLEED-TARGET-PRIVATE-KEY-0xFEEDFACE")
+	leakFrom := func(nested bool) ([]byte, error) {
+		r := NewRig(SmallMachine())
+		es, err := BuildEchoServer(r, nested, true /* vulnerable */)
+		if err != nil {
+			return nil, err
+		}
+		// The application stashes a secret in ITS enclave's heap — the same
+		// heap the SSL library stages records in (monolithic), or the inner
+		// enclave's heap (nested).
+		if _, err := es.App.ECall("plant_secret", secret); err != nil {
+			return nil, err
+		}
+		client, err := es.Connect(ssl.Config{MinVersion: ssl.VersionTLS12Like})
+		if err != nil {
+			return nil, err
+		}
+		// The crafted heartbeat: 1 actual payload byte, 16 KB claimed.
+		req, err := client.Heartbeat([]byte("x"), 16*1024)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := es.Entry.ECall("tls_record", req)
+		if err != nil {
+			return nil, err
+		}
+		return client.OpenHeartbeatResponse(resp)
+	}
+
+	monoLeak, err := leakFrom(false)
+	if err != nil {
+		return nil, fmt.Errorf("heartbleed monolithic: %w", err)
+	}
+	nestLeak, err := leakFrom(true)
+	if err != nil {
+		return nil, fmt.Errorf("heartbleed nested: %w", err)
+	}
+	monoHit := bytes.Contains(monoLeak, secret)
+	nestHit := bytes.Contains(nestLeak, secret)
+	row := &TableVIIRow{
+		Attack:     "OpenSSL vulnerability leaks main application's memory (VI-A)",
+		Monolithic: outcome(monoHit, "secret leaked in heartbeat response", "no leak"),
+		Nested:     outcome(nestHit, "secret leaked in heartbeat response", "no leak (over-read confined to the outer enclave heap)"),
+		Protection: "isolation between enclaves",
+		Reproduced: monoHit && !nestHit,
+	}
+	return row, nil
+}
+
+// libraryReadAttack reproduces §VI-B: the shared library attempts to read
+// the user's raw private data directly.
+func libraryReadAttack() (*TableVIIRow, error) {
+	private := []byte("RAW-PRIVATE-FEATURES-BEFORE-FILTERING")
+	probe := func(nested bool) (bool, error) {
+		r := NewRig(SmallMachine())
+		ms, err := BuildMLService(r, nested)
+		if err != nil {
+			return false, err
+		}
+		addrB, err := ms.User.ECall("stash_private", private)
+		if err != nil {
+			return false, err
+		}
+		args := append(addrB, le64(uint64(len(private)))...)
+		got, err := ms.Lib.ECall("lib_probe", args)
+		if err != nil {
+			return false, err
+		}
+		return bytes.Contains(got, private), nil
+	}
+	monoHit, err := probe(false)
+	if err != nil {
+		return nil, fmt.Errorf("library read monolithic: %w", err)
+	}
+	nestHit, err := probe(true)
+	if err != nil {
+		return nil, fmt.Errorf("library read nested: %w", err)
+	}
+	return &TableVIIRow{
+		Attack:     "LibSVM / SQLite can read privacy-sensitive data (VI-B)",
+		Monolithic: outcome(monoHit, "library read the raw private data", "read blocked"),
+		Nested:     outcome(nestHit, "library read the raw private data", "read aborted (0xFF)"),
+		Protection: "isolation between enclaves",
+		Reproduced: monoHit && !nestHit,
+	}, nil
+}
+
+// ipcControlAttack reproduces §VI-C/§VII-B: the OS selectively drops the
+// initialization message of an enclave-to-enclave channel (the Panoply
+// certificate-check attack), and eavesdrops on everything it routes.
+func ipcControlAttack() (*TableVIIRow, error) {
+	// Baseline: GCM channel over OS IPC.
+	baseR := NewRig(SmallMachine())
+	key := [16]byte{5}
+	baseR.K.IPC.SetAdversary("verify", &kos.IPCAdversary{
+		DropIf: func(p []byte) bool { return true }, // drop the init call
+	})
+	tx, err := channel.NewGCM(baseR.K.IPC, "verify", key)
+	if err != nil {
+		return nil, err
+	}
+	rx, err := channel.NewGCM(baseR.K.IPC, "verify", key)
+	if err != nil {
+		return nil, err
+	}
+	// The application registers its certificate-verification callback...
+	tx.Send([]byte("INIT: register certificate verification callback"))
+	// ...which never arrives; the verifier silently never runs, and the
+	// application cannot distinguish "dropped" from "not yet sent".
+	_, received, rerr := rx.Recv()
+	baselineBypassed := !received && rerr == nil
+
+	// Nested: the same exchange through the outer-enclave channel. The OS
+	// has no interposition point: it can neither see nor drop the message.
+	nestR := NewRig(SmallMachine())
+	es, err := buildChannelPair(nestR)
+	if err != nil {
+		return nil, err
+	}
+	msg := []byte("INIT: register certificate verification callback")
+	if err := es.send(msg); err != nil {
+		return nil, err
+	}
+	// Kernel-side snooping sees only abort-page bytes.
+	snoop, err := es.kernelSnoop(64)
+	if err != nil {
+		return nil, err
+	}
+	kernelBlind := !bytes.Contains(snoop, msg[:8])
+	got, err := es.recv()
+	if err != nil {
+		return nil, err
+	}
+	nestedDelivered := bytes.Equal(got, msg)
+
+	return &TableVIIRow{
+		Attack:     "OS eavesdrops and controls inter-enclave communication (VI-C)",
+		Monolithic: outcome(baselineBypassed, "init call silently dropped; verification bypassed", "delivery intact"),
+		Nested:     outcome(nestedDelivered && kernelBlind, "delivered; kernel sees only 0xFF", "attack state unclear"),
+		Protection: "secure inter-enclave communication",
+		Reproduced: baselineBypassed && nestedDelivered && kernelBlind,
+	}, nil
+}
+
+// deployedChannel is a deployed outer-channel rig for the IPC attack: two
+// peer inner enclaves sharing a ring buffer in their outer enclave's heap.
+type deployedChannel struct {
+	in1, in2  func(name string, args []byte) ([]byte, error)
+	argsFor   func(payload []byte) []byte
+	snoopBase func(n int) ([]byte, error)
+}
+
+func buildChannelPair(r *Rig) (*deployedChannel, error) {
+	return newChannelRig(r)
+}
+
+func (d *deployedChannel) send(payload []byte) error {
+	out, err := d.in1("ch_send", d.argsFor(payload))
+	if err != nil {
+		return err
+	}
+	if len(out) == 0 || out[0] != 1 {
+		return fmt.Errorf("channel full")
+	}
+	return nil
+}
+
+func (d *deployedChannel) recv() ([]byte, error) {
+	out, err := d.in2("ch_recv", d.argsFor(nil))
+	if err != nil {
+		return nil, err
+	}
+	if len(out) == 0 || out[0] != 1 {
+		return nil, fmt.Errorf("channel empty")
+	}
+	return out[1:], nil
+}
+
+func (d *deployedChannel) kernelSnoop(n int) ([]byte, error) {
+	return d.snoopBase(n)
+}
+
+func outcome(hit bool, ifHit, ifMiss string) string {
+	if hit {
+		return ifHit
+	}
+	return ifMiss
+}
+
+// RenderTableVII formats the rows.
+func RenderTableVII(rows []TableVIIRow) *Table {
+	t := &Table{
+		Title:   "Table VII — possible attacks from the case studies (executed) and security analysis",
+		Headers: []string{"Attack", "Monolithic SGX", "Nested enclave", "Protection", "Reproduced"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Attack, r.Monolithic, r.Nested, r.Protection, fmt.Sprint(r.Reproduced))
+	}
+	return t
+}

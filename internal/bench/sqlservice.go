@@ -1,0 +1,245 @@
+package bench
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"nestedenclave/internal/sdk"
+	"nestedenclave/internal/sqldb"
+	"nestedenclave/internal/ycsb"
+)
+
+// This file implements the SQLite half of the §VI-B case study (Table VI):
+// a shared SQL database service driven by YCSB workloads.
+//
+//   - Monolithic: the database engine and the client-facing query handling
+//     share one enclave; queries execute directly.
+//   - Nested: a per-client inner enclave parses each query and encrypts the
+//     data values (so the shared service only ever stores ciphertext), then
+//     forwards the rewritten query to the SQLite-like service in the outer
+//     enclave via n_ocall; SELECT results are decrypted on the way back.
+//
+// Porting delta lines carry "// PORT:" markers for TableIII.
+
+// SQLService is a deployed database service.
+type SQLService struct {
+	Nested bool
+	// Client is the enclave queries enter through.
+	Client *sdk.Enclave
+	// Svc hosts the database engine (== Client when monolithic).
+	Svc *sdk.Enclave
+
+	db   *sqldb.DB
+	key  [16]byte
+	aead cipher.AEAD
+}
+
+func (s *SQLService) initCrypto() {
+	block, err := aes.NewCipher(s.key[:])
+	if err != nil {
+		panic(err)
+	}
+	s.aead, err = cipher.NewGCM(block)
+	if err != nil {
+		panic(err)
+	}
+}
+
+// encryptText seals a text value deterministically under the per-client key
+// (deterministic so WHERE equality on encrypted fields keeps working — the
+// standard searchable-deterministic-encryption trade-off).
+func (s *SQLService) encryptText(pt string) string {
+	nonce := make([]byte, s.aead.NonceSize())
+	return hex.EncodeToString(s.aead.Seal(nil, nonce, []byte(pt), nil))
+}
+
+func (s *SQLService) decryptText(ct string) (string, error) {
+	raw, err := hex.DecodeString(ct)
+	if err != nil {
+		return "", err
+	}
+	nonce := make([]byte, s.aead.NonceSize())
+	pt, err := s.aead.Open(nil, nonce, raw, nil)
+	if err != nil {
+		return "", err
+	}
+	return string(pt), nil
+}
+
+// rewriteQuery parses the SQL and encrypts every text literal — the inner
+// enclave's "parse the queries and encrypt data" step.
+func (s *SQLService) rewriteQuery(sql string) (string, error) {
+	st, err := sqldb.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	switch q := st.(type) {
+	case *sqldb.InsertStmt:
+		for i, v := range q.Vals {
+			if v.Kind == sqldb.KText {
+				q.Vals[i] = sqldb.Text(s.encryptText(v.S))
+			}
+		}
+	case *sqldb.UpdateStmt:
+		for i := range q.Sets {
+			if q.Sets[i].Val.Kind == sqldb.KText {
+				q.Sets[i].Val = sqldb.Text(s.encryptText(q.Sets[i].Val.S))
+			}
+		}
+		for i := range q.Where {
+			if q.Where[i].Val.Kind == sqldb.KText {
+				q.Where[i].Val = sqldb.Text(s.encryptText(q.Where[i].Val.S))
+			}
+		}
+	case *sqldb.SelectStmt:
+		for i := range q.Where {
+			if q.Where[i].Val.Kind == sqldb.KText {
+				q.Where[i].Val = sqldb.Text(s.encryptText(q.Where[i].Val.S))
+			}
+		}
+	}
+	return sqldb.FormatStmt(st)
+}
+
+// execAndRender runs a query on the engine and flattens the result.
+func execAndRender(db *sqldb.DB, sql string) ([]byte, error) {
+	res, err := db.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	out := fmt.Sprintf("affected=%d rows=%d", res.Affected, len(res.Rows))
+	for _, row := range res.Rows {
+		for _, v := range row {
+			out += "|" + v.String()
+		}
+	}
+	return []byte(out), nil
+}
+
+// BuildSQLService deploys the case study.
+func BuildSQLService(r *Rig, nested bool) (*SQLService, error) {
+	s := &SQLService{Nested: nested, db: sqldb.New(), key: [16]byte{7}}
+	s.initCrypto()
+
+	if !nested {
+		img := sdk.NewImage("sql-service", 0x1000_0000, sdk.DefaultLayout())
+		img.RegisterECall("query", func(env *sdk.Env, args []byte) ([]byte, error) {
+			return execAndRender(s.db, string(args))
+		})
+		e, err := r.LoadSolo(img)
+		if err != nil {
+			return nil, err
+		}
+		s.Client, s.Svc = e, e
+		return s, nil
+	}
+
+	svcImg := sdk.NewImage("sqlite-svc", 0x2000_0000, sdk.DefaultLayout())              // PORT: shared service image
+	clientImg := sdk.NewImage("sql-client", 0x1000_0000, sdk.DefaultLayout())           // PORT: per-client image
+	svcImg.RegisterNOCall("sql_exec", func(env *sdk.Env, args []byte) ([]byte, error) { // PORT: service entry via n_ocall
+		return execAndRender(s.db, string(args))
+	})
+	clientImg.RegisterECall("query", func(env *sdk.Env, args []byte) ([]byte, error) {
+		rewritten, err := s.rewriteQuery(string(args)) // PORT: parse + encrypt values in the inner enclave
+		if err != nil {                                // PORT:
+			return nil, err // PORT:
+		}
+		return env.NOCall("sql_exec", []byte(rewritten)) // PORT: forward to the shared service
+	})
+	client, svc, err := r.LoadPair(clientImg, svcImg) // PORT: NASSO association
+	if err != nil {
+		return nil, err
+	}
+	s.Client, s.Svc = client, svc
+	return s, nil
+}
+
+// Query sends one SQL statement through the deployed service: clients ecall
+// into their inner enclave, which forwards to the shared engine via n_ocall
+// (the paper's §VI-B flow).
+func (s *SQLService) Query(sql string) ([]byte, error) {
+	return s.Client.ECall("query", []byte(sql))
+}
+
+// TableVIRow is one workload row of Table VI.
+type TableVIRow struct {
+	Workload   string
+	MonoQPS    float64
+	NestQPS    float64
+	Normalized float64
+	// OverheadUS is the absolute per-query cost the nested build adds
+	// (transitions + parse/encrypt in the inner enclave).
+	OverheadUS float64
+	// SQLiteEquivNorm projects the normalized throughput onto a real
+	// SQLite's per-query cost (~300 us on the paper's testbed): the same
+	// absolute overhead against realistic engine work. This is the number
+	// comparable to the paper's 0.98-0.99, since this repository's SQL
+	// engine is over an order of magnitude faster than SQLite.
+	SQLiteEquivNorm float64
+}
+
+// sqliteQueryUS is the reference per-query cost of real SQLite used for the
+// paper-equivalent normalization.
+const sqliteQueryUS = 300.0
+
+// TableVI runs the four YCSB mixes with cfg (zero value: 1000 records,
+// 10 000 operations — the paper's query count).
+func TableVI(cfg ycsb.Config) ([]TableVIRow, error) {
+	if cfg.Operations == 0 {
+		cfg = ycsb.DefaultConfig()
+	}
+	var rows []TableVIRow
+	for _, mix := range ycsb.TableVIMixes() {
+		w := ycsb.Generate(mix, cfg)
+		row := TableVIRow{Workload: mix.Name}
+		for _, nested := range []bool{false, true} {
+			r := NewRig(SmallMachine())
+			s, err := BuildSQLService(r, nested)
+			if err != nil {
+				return nil, err
+			}
+			for _, q := range w.Setup {
+				if _, err := s.Query(q); err != nil {
+					return nil, fmt.Errorf("%s setup (%s): %w", mix.Name, variantName(nested), err)
+				}
+			}
+			start := time.Now()
+			for _, q := range w.Queries {
+				if _, err := s.Query(q); err != nil {
+					return nil, fmt.Errorf("%s (%s): %w", mix.Name, variantName(nested), err)
+				}
+			}
+			qps := float64(len(w.Queries)) / time.Since(start).Seconds()
+			if nested {
+				row.NestQPS = qps
+			} else {
+				row.MonoQPS = qps
+			}
+		}
+		row.Normalized = row.NestQPS / row.MonoQPS
+		row.OverheadUS = 1e6/row.NestQPS - 1e6/row.MonoQPS
+		row.SQLiteEquivNorm = sqliteQueryUS / (sqliteQueryUS + row.OverheadUS)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTableVI formats the rows.
+func RenderTableVI(rows []TableVIRow) *Table {
+	t := &Table{
+		Title:   "Table VI — SQLite throughput with YCSB (uniform random requests), normalized to monolithic",
+		Headers: []string{"Workload", "Mono q/s", "Nested q/s", "Normalized", "Overhead us/q", "SQLite-equiv norm"},
+		Notes: []string{
+			"paper: 0.99 / 0.99 / 0.98 / 0.98 — under 2% overhead from per-query encryption + transitions",
+			"this repo's SQL engine runs queries in single-digit microseconds, so the same absolute overhead",
+			fmt.Sprintf("shows as a larger ratio; the last column projects it onto a %v-us/query SQLite", sqliteQueryUS),
+		},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Workload, f2(r.MonoQPS), f2(r.NestQPS), f3(r.Normalized), f2(r.OverheadUS), f3(r.SQLiteEquivNorm))
+	}
+	return t
+}

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	_ "embed"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Table III of the paper counts the lines of code modified to port each
+// application from the conventional enclave to nested enclave, plus the EDL
+// interface changes, noting the libraries themselves needed zero changes.
+//
+// This reproduction applies the same methodology to its own sources: every
+// line of the case-study implementations that exists only for the nested
+// build carries a "// PORT:" marker, interface (EDL-equivalent) definitions
+// are the Register*/AllowOCall declarations, and the library packages
+// (internal/ssl, internal/svm, internal/sqldb) are byte-identical between
+// the two builds — the count below proves it by construction, since both
+// builds import the same packages.
+
+//go:embed echoserver.go
+var srcEchoServer string
+
+//go:embed mlservice.go
+var srcMLService string
+
+//go:embed sqlservice.go
+var srcSQLService string
+
+// TableIIIRow is one application row.
+type TableIIIRow struct {
+	Name         string
+	PortedLOC    int // lines marked // PORT:
+	InterfaceLOC int // EDL-equivalent declarations (entry registrations)
+	CaseStudyLOC int // total case-study source lines
+	LibraryLOC   int // unchanged library lines (0 modifications)
+	Library      string
+}
+
+func countMarked(src, marker string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		if strings.Contains(line, marker) {
+			n++
+		}
+	}
+	return n
+}
+
+func countLines(src string) int { return strings.Count(src, "\n") + 1 }
+
+// libraryLOC counts the Go lines of a library package directory relative to
+// this source file. Returns 0 (with ok=false) when the sources are not on
+// disk (e.g. a stripped install).
+func libraryLOC(pkg string) (int, bool) {
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		return 0, false
+	}
+	dir := filepath.Join(filepath.Dir(self), "..", pkg)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, false
+	}
+	total := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return 0, false
+		}
+		total += countLines(string(b))
+	}
+	return total, true
+}
+
+// TableIII computes the ported-LOC accounting.
+func TableIII() []TableIIIRow {
+	apps := []struct {
+		name, src, libPkg, libName string
+	}{
+		{"echo server", srcEchoServer, "ssl", "mini-SSL"},
+		{"svm train/predict", srcMLService, "svm", "mini-LibSVM"},
+		{"SQL server", srcSQLService, "sqldb", "mini-SQLite"},
+	}
+	var rows []TableIIIRow
+	for _, a := range apps {
+		libLOC, _ := libraryLOC(a.libPkg)
+		rows = append(rows, TableIIIRow{
+			Name:         a.name,
+			PortedLOC:    countMarked(a.src, "// PORT:"),
+			InterfaceLOC: countMarked(a.src, "RegisterECall(") + countMarked(a.src, "RegisterNOCall(") + countMarked(a.src, "AllowOCall("),
+			CaseStudyLOC: countLines(a.src),
+			LibraryLOC:   libLOC,
+			Library:      a.libName,
+		})
+	}
+	return rows
+}
+
+// RenderTableIII formats the rows.
+func RenderTableIII(rows []TableIIIRow) *Table {
+	t := &Table{
+		Title:   "Table III — lines of code modified for porting to nested enclave",
+		Headers: []string{"Application", "Ported LOC", "Interface (EDL) LOC", "Case-study LOC", "Library LOC (modified: 0)"},
+		Notes: []string{
+			"Ported LOC counts '// PORT:'-marked lines in this repository's case-study sources",
+			"libraries are shared verbatim by both builds — zero modified lines, as in the paper",
+			"paper: echo 34+10, SQLite 19+5, svm-predict 27+10, svm-train 24+10; libraries 0",
+		},
+	}
+	for _, r := range rows {
+		lib := fmt.Sprintf("%d (%s)", r.LibraryLOC, r.Library)
+		t.AddRow(r.Name, fmt.Sprint(r.PortedLOC), fmt.Sprint(r.InterfaceLOC), fmt.Sprint(r.CaseStudyLOC), lib)
+	}
+	return t
+}
+
+// TableIV reproduces the paper's data-classification taxonomy.
+func TableIV() *Table {
+	t := &Table{
+		Title:   "Table IV — case studies and MLS data classification",
+		Headers: []string{"Type", "Top secret (inner)", "Secret (outer)"},
+		Notes:   []string{"inner enclaves read top secret and secret; the outer enclave reads secret only"},
+	}
+	t.AddRow("Confinement (VI-A)", "Data for main app.", "Data for OpenSSL")
+	t.AddRow("Data protection (VI-B)", "Private data", "Data allowed for ML")
+	t.AddRow("Fast comm. (VI-C)", "Data not to expose", "Data to communicate")
+	return t
+}

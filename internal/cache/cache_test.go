@@ -1,0 +1,257 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"nestedenclave/internal/isa"
+	"nestedenclave/internal/trace"
+)
+
+// memBackend is a plain in-memory Backend for testing the cache alone.
+type memBackend struct {
+	data       map[uint64][isa.LineSize]byte
+	reads      int
+	writes     int
+	failReads  bool
+	failWrites bool
+}
+
+func newMemBackend() *memBackend {
+	return &memBackend{data: make(map[uint64][isa.LineSize]byte)}
+}
+
+func (b *memBackend) ReadLine(p isa.PAddr) ([]byte, error) {
+	if b.failReads {
+		return nil, fmt.Errorf("injected read failure")
+	}
+	b.reads++
+	line := b.data[uint64(p)>>isa.LineShift]
+	return line[:], nil
+}
+
+func (b *memBackend) WriteLine(p isa.PAddr, data []byte) error {
+	if b.failWrites {
+		return fmt.Errorf("injected write failure")
+	}
+	b.writes++
+	var line [isa.LineSize]byte
+	copy(line[:], data)
+	b.data[uint64(p)>>isa.LineShift] = line
+	return nil
+}
+
+func tiny() Config { return Config{SizeBytes: 8 * 1024, Ways: 4} } // 32 sets
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	b := newMemBackend()
+	c := MustNew(tiny(), b, &trace.Recorder{})
+	data := []byte("some data crossing a line boundary......................xyz")
+	if err := c.Write(60, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(60, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read back %q", got)
+	}
+}
+
+func TestWriteBackOnlyOnEviction(t *testing.T) {
+	b := newMemBackend()
+	c := MustNew(tiny(), b, nil)
+	if err := c.Write(0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if b.writes != 0 {
+		t.Fatalf("write-back cache wrote through: %d writes", b.writes)
+	}
+	if err := c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if b.writes != 1 {
+		t.Fatalf("flush produced %d backend writes, want 1", b.writes)
+	}
+	line := b.data[0]
+	if line[0] != 1 || line[1] != 2 || line[2] != 3 {
+		t.Fatalf("backend line %v", line[:4])
+	}
+}
+
+func TestHitAvoidsBackend(t *testing.T) {
+	b := newMemBackend()
+	rec := &trace.Recorder{}
+	c := MustNew(tiny(), b, rec)
+	if _, err := c.Read(0x100, 8); err != nil {
+		t.Fatal(err)
+	}
+	readsAfterMiss := b.reads
+	for i := 0; i < 10; i++ {
+		if _, err := c.Read(0x100, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.reads != readsAfterMiss {
+		t.Fatalf("hits reached the backend: %d -> %d reads", readsAfterMiss, b.reads)
+	}
+	if rec.Get(trace.EvLLCHit) != 10 {
+		t.Fatalf("llc_hit = %d, want 10", rec.Get(trace.EvLLCHit))
+	}
+}
+
+func TestEvictionWritesDirtyVictim(t *testing.T) {
+	b := newMemBackend()
+	cfg := tiny()
+	c := MustNew(cfg, b, nil)
+	nsets := cfg.SizeBytes / isa.LineSize / cfg.Ways
+	// Fill one set beyond associativity with dirty lines.
+	for w := 0; w <= cfg.Ways; w++ {
+		addr := isa.PAddr(w * nsets * isa.LineSize) // same set, different tags
+		if err := c.Write(addr, []byte{byte(w + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.writes == 0 {
+		t.Fatal("over-filling a set evicted no dirty victim")
+	}
+	// The evicted line (LRU: the first written) must be readable with its
+	// data intact.
+	got, err := c.Read(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Fatalf("evicted line lost data: %d", got[0])
+	}
+}
+
+func TestFlushLineAndRange(t *testing.T) {
+	b := newMemBackend()
+	c := MustNew(tiny(), b, nil)
+	if err := c.Write(0x200, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FlushLine(0x200); err != nil {
+		t.Fatal(err)
+	}
+	if b.writes != 1 {
+		t.Fatalf("FlushLine wrote %d lines", b.writes)
+	}
+	valid, _ := c.Stats()
+	if valid != 0 {
+		t.Fatalf("line still cached after flush")
+	}
+	// Flushing a clean or absent line is a no-op.
+	if err := c.FlushLine(0x8000); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(0x400, bytes.Repeat([]byte{7}, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FlushRange(0x400, 256); err != nil {
+		t.Fatal(err)
+	}
+	if _, dirty := c.Stats(); dirty != 0 {
+		t.Fatal("dirty lines remain after FlushRange")
+	}
+}
+
+func TestDisabledCacheWritesThrough(t *testing.T) {
+	b := newMemBackend()
+	c := MustNew(tiny(), b, nil)
+	c.Enabled = false
+	if err := c.Write(0, []byte{5}); err != nil {
+		t.Fatal(err)
+	}
+	if b.writes == 0 {
+		t.Fatal("disabled cache did not write through")
+	}
+	got, err := c.Read(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 5 {
+		t.Fatalf("uncached read = %d", got[0])
+	}
+}
+
+func TestBackendErrorsPropagate(t *testing.T) {
+	b := newMemBackend()
+	c := MustNew(tiny(), b, nil)
+	b.failReads = true
+	if _, err := c.Read(0, 1); err == nil {
+		t.Fatal("read error swallowed")
+	}
+	b.failReads = false
+	if err := c.Write(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	b.failWrites = true
+	if err := c.FlushAll(); err == nil {
+		t.Fatal("write-back error swallowed")
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	b := newMemBackend()
+	bad := []Config{
+		{SizeBytes: 0, Ways: 4},
+		{SizeBytes: 1024, Ways: 0},
+		{SizeBytes: 1000, Ways: 3},    // not divisible into line-sized ways
+		{SizeBytes: 64 * 12, Ways: 4}, // 3 sets: not a power of two
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg, b, nil); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestCacheTransparency: any sequence of writes followed by reads through
+// the cache behaves exactly like a flat memory.
+func TestCacheTransparency(t *testing.T) {
+	type op struct {
+		Addr  uint16
+		Data  byte
+		Write bool
+	}
+	f := func(ops []op) bool {
+		b := newMemBackend()
+		c := MustNew(tiny(), b, nil)
+		ref := make(map[uint16]byte)
+		for _, o := range ops {
+			if o.Write {
+				if err := c.Write(isa.PAddr(o.Addr), []byte{o.Data}); err != nil {
+					return false
+				}
+				ref[o.Addr] = o.Data
+			} else {
+				got, err := c.Read(isa.PAddr(o.Addr), 1)
+				if err != nil {
+					return false
+				}
+				if got[0] != ref[o.Addr] {
+					return false
+				}
+			}
+		}
+		// After a full flush, the backend holds the same contents.
+		if err := c.FlushAll(); err != nil {
+			return false
+		}
+		for a, v := range ref {
+			line := b.data[uint64(a)>>isa.LineShift]
+			if line[a&isa.LineMask] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+package channel
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nestedenclave/internal/isa"
+	"nestedenclave/internal/sgx"
+)
+
+// OuterChannel is a single-producer single-consumer ring buffer located in
+// an outer enclave's memory. Peer inner enclaves (and the outer enclave
+// itself) read and write it through the hardware-validated access path: the
+// kernel and unrelated enclaves see only abort-page 0xFF.
+//
+// Layout at Base (all fields little-endian):
+//
+//	+0   head  (u64)  — byte offset of next read, mod DataSize
+//	+8   tail  (u64)  — byte offset of next write, mod DataSize
+//	+16  data  [DataSize]byte
+//
+// Messages are framed as u32 length + payload, wrapping at the end of the
+// data area. Offsets monotonically increase; head==tail means empty. The
+// structure itself carries no crypto: hardware protection of the outer
+// enclave's memory is the whole point.
+type OuterChannel struct {
+	base isa.VAddr
+	size uint64 // data area size
+}
+
+const hdrSize = 16
+
+// NewOuter creates a channel descriptor over [base, base+hdrSize+size) of
+// outer-enclave memory. The creator (outer enclave code) must zero the
+// header before first use; Init does that.
+func NewOuter(base isa.VAddr, size uint64) (*OuterChannel, error) {
+	if size == 0 || size%8 != 0 {
+		return nil, fmt.Errorf("channel: data size %d must be a positive multiple of 8", size)
+	}
+	return &OuterChannel{base: base, size: size}, nil
+}
+
+// Init zeroes the ring state. Must run in a context that can write the
+// outer enclave's memory (the outer enclave or one of its inners).
+func (ch *OuterChannel) Init(c *sgx.Core) error {
+	return c.Write(ch.base, make([]byte, hdrSize))
+}
+
+// Footprint returns the total bytes of outer-enclave memory the channel
+// occupies — the quantity Figure 11 varies against the LLC size.
+func (ch *OuterChannel) Footprint() uint64 { return hdrSize + ch.size }
+
+func (ch *OuterChannel) readU64(c *sgx.Core, off uint64) (uint64, error) {
+	return c.ReadU64(ch.base + isa.VAddr(off))
+}
+
+func (ch *OuterChannel) writeU64(c *sgx.Core, off uint64, v uint64) error {
+	return c.WriteU64(ch.base+isa.VAddr(off), v)
+}
+
+// dataWrite writes b at ring offset off (mod size), wrapping.
+func (ch *OuterChannel) dataWrite(c *sgx.Core, off uint64, b []byte) error {
+	off %= ch.size
+	first := min(uint64(len(b)), ch.size-off)
+	if err := c.Write(ch.base+hdrSize+isa.VAddr(off), b[:first]); err != nil {
+		return err
+	}
+	if first < uint64(len(b)) {
+		return c.Write(ch.base+hdrSize, b[first:])
+	}
+	return nil
+}
+
+func (ch *OuterChannel) dataRead(c *sgx.Core, off uint64, n uint64) ([]byte, error) {
+	off %= ch.size
+	out := make([]byte, n)
+	first := min(n, ch.size-off)
+	if err := c.ReadInto(ch.base+hdrSize+isa.VAddr(off), out[:first]); err != nil {
+		return nil, err
+	}
+	if first < n {
+		if err := c.ReadInto(ch.base+hdrSize, out[first:]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Send enqueues the payload. Returns false (without writing) when the ring
+// lacks space.
+func (ch *OuterChannel) Send(c *sgx.Core, payload []byte) (bool, error) {
+	need := uint64(4 + len(payload))
+	if need > ch.size {
+		return false, fmt.Errorf("channel: message of %d bytes exceeds ring capacity %d", len(payload), ch.size)
+	}
+	head, err := ch.readU64(c, 0)
+	if err != nil {
+		return false, err
+	}
+	tail, err := ch.readU64(c, 8)
+	if err != nil {
+		return false, err
+	}
+	if tail-head+need > ch.size {
+		return false, nil // full
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	if err := ch.dataWrite(c, tail, lenBuf[:]); err != nil {
+		return false, err
+	}
+	if err := ch.dataWrite(c, tail+4, payload); err != nil {
+		return false, err
+	}
+	return true, ch.writeU64(c, 8, tail+need)
+}
+
+// Recv dequeues the next payload, if any.
+func (ch *OuterChannel) Recv(c *sgx.Core) ([]byte, bool, error) {
+	head, err := ch.readU64(c, 0)
+	if err != nil {
+		return nil, false, err
+	}
+	tail, err := ch.readU64(c, 8)
+	if err != nil {
+		return nil, false, err
+	}
+	if head == tail {
+		return nil, false, nil
+	}
+	lenBuf, err := ch.dataRead(c, head, 4)
+	if err != nil {
+		return nil, false, err
+	}
+	n := uint64(binary.LittleEndian.Uint32(lenBuf))
+	if n > ch.size {
+		return nil, false, fmt.Errorf("channel: corrupt frame length %d", n)
+	}
+	payload, err := ch.dataRead(c, head+4, n)
+	if err != nil {
+		return nil, false, err
+	}
+	return payload, true, ch.writeU64(c, 0, head+4+n)
+}

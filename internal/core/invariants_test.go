@@ -1,0 +1,219 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"nestedenclave/internal/core"
+	"nestedenclave/internal/isa"
+	"nestedenclave/internal/measure"
+	"nestedenclave/internal/sdk"
+	"nestedenclave/internal/sgx"
+)
+
+// This file property-tests the paper's §VII-A security invariants: after
+// ANY sequence of enclave transitions, memory accesses, kernel page-table
+// attacks, and page evictions, every TLB in the machine satisfies:
+//
+//  1. Out of enclave mode, no TLB entry maps a PRM physical page.
+//  2. In enclave mode, a vaddr outside the enclave's ELRANGE (and outside
+//     every associated outer's ELRANGE) never maps to PRM.
+//  3. In enclave mode, a vaddr inside ELRANGE maps only through an EPCM
+//     entry owned by this enclave and recorded at exactly this vaddr.
+//  4. (nested) In enclave mode, a vaddr inside an outer enclave's ELRANGE
+//     maps only through an EPCM entry owned by that outer and recorded at
+//     exactly this vaddr.
+
+// auditInvariants walks every core's TLB and checks the four invariants.
+func auditInvariants(m *sgx.Machine) error {
+	for _, c := range m.Cores() {
+		cur := c.Current()
+		for _, e := range c.TLB.Entries() {
+			pa := isa.PAddr(e.PPN << isa.PageShift)
+			v := isa.VAddr(e.VPN << isa.PageShift)
+			inPRM := m.DRAM.PageInPRM(pa)
+			if cur == nil {
+				if inPRM {
+					return fmt.Errorf("inv1: core %d out of enclave maps %#x -> PRM %#x",
+						c.ID, uint64(v), uint64(pa))
+				}
+				continue
+			}
+			// Identify which protection region the vaddr claims.
+			owner := regionOwner(m, cur, e.VPN)
+			if owner == nil {
+				if inPRM {
+					return fmt.Errorf("inv2: core %d enclave %d maps out-of-ELRANGE %#x -> PRM",
+						c.ID, cur.EID, uint64(v))
+				}
+				continue
+			}
+			if !inPRM {
+				return fmt.Errorf("inv3/4: core %d enclave %d maps ELRANGE %#x outside PRM",
+					c.ID, cur.EID, uint64(v))
+			}
+			ent, ok := m.EPC.EntryAt(pa)
+			if !ok || !ent.Valid {
+				return fmt.Errorf("inv3/4: core %d maps %#x to invalid EPC page", c.ID, uint64(v))
+			}
+			if ent.Owner != owner.EID {
+				return fmt.Errorf("inv3/4: core %d enclave %d maps %#x to EPC of enclave %d, region owner %d",
+					c.ID, cur.EID, uint64(v), ent.Owner, owner.EID)
+			}
+			if ent.Vaddr != v {
+				return fmt.Errorf("inv3/4: core %d maps %#x to EPC page recorded at %#x",
+					c.ID, uint64(v), uint64(ent.Vaddr))
+			}
+		}
+	}
+	return nil
+}
+
+// regionOwner returns the enclave whose ELRANGE contains the vpn: the
+// current enclave, one of its transitive outers, or nil.
+func regionOwner(m *sgx.Machine, cur *sgx.SECS, vpn uint64) *sgx.SECS {
+	if cur.ContainsVPN(vpn) {
+		return cur
+	}
+	frontier := append([]isa.EID(nil), cur.Nested.OuterEIDs...)
+	seen := map[isa.EID]bool{}
+	for len(frontier) > 0 {
+		eid := frontier[0]
+		frontier = frontier[1:]
+		if seen[eid] {
+			continue
+		}
+		seen[eid] = true
+		o, ok := m.ResolveEID(eid)
+		if !ok {
+			continue
+		}
+		if o.ContainsVPN(vpn) {
+			return o
+		}
+		frontier = append(frontier, o.Nested.OuterEIDs...)
+	}
+	return nil
+}
+
+// fuzzStep is one randomized operation.
+type fuzzStep struct {
+	Kind  uint8 // %5: 0 access, 1 transition-up, 2 transition-down, 3 remap, 4 evict
+	Addr  uint8 // selects a target address from the pool
+	Frame uint8 // selects a victim frame for remaps
+	Write bool
+}
+
+func TestSecurityInvariantsUnderRandomOperations(t *testing.T) {
+	r := newRig(t, core.TwoLevel())
+	innerImg := sdk.NewImage("inner", 0x1000_0000, sdk.DefaultLayout())
+	outerImg := sdk.NewImage("outer", 0x2000_0000, sdk.DefaultLayout())
+	si := innerImg.Sign(measure.MustNewAuthor(), []measure.Digest{outerImg.Measure()}, nil)
+	so := outerImg.Sign(measure.MustNewAuthor(), nil, []measure.Digest{innerImg.Measure()})
+	outer, err := r.host.Load(so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := r.host.Load(si)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.host.Associate(inner, outer); err != nil {
+		t.Fatal(err)
+	}
+	unsec, err := r.host.Proc.Mmap(4*isa.PageSize, isa.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := r.m.Core(0)
+	if err := r.k.Schedule(c, r.host.Proc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Address pool: enclave heaps, code, TCS pages, unsecure, unmapped.
+	pool := []isa.VAddr{
+		innerImg.HeapBase(), innerImg.HeapBase() + 0x1800, innerImg.Base,
+		outerImg.HeapBase(), outerImg.HeapBase() + 0x2300, outerImg.Base,
+		unsec, unsec + isa.PageSize,
+		0x7777_0000, // unmapped
+	}
+	// Frame pool for kernel remap attacks: EPC frames of both enclaves and
+	// an unsecure frame.
+	framePool := func() []isa.PAddr {
+		var out []isa.PAddr
+		for _, eid := range []isa.EID{inner.SECS().EID, outer.SECS().EID} {
+			pages := r.m.EPC.PagesOf(eid)
+			for _, p := range pages[:min(3, len(pages))] {
+				out = append(out, r.m.EPC.AddrOf(p))
+			}
+		}
+		if pa, ok := r.host.Proc.PageTable().Translate(unsec); ok {
+			out = append(out, pa)
+		}
+		return out
+	}()
+
+	innerTCS := innerImg.HeapBase() + isa.VAddr(innerImg.HeapSize())
+	outerTCS := outerImg.HeapBase() + isa.VAddr(outerImg.HeapSize())
+
+	// depth: 0 untrusted, 1 in outer, 2 in inner (nested).
+	depth := 0
+
+	f := func(steps []fuzzStep) bool {
+		for _, st := range steps {
+			switch st.Kind % 5 {
+			case 0: // memory access from the current context
+				v := pool[int(st.Addr)%len(pool)] + isa.VAddr(st.Frame%4)*8
+				if st.Write {
+					_ = c.Write(v, []byte{0xAB, 1, 2})
+				} else {
+					_, _ = c.Read(v, 24)
+				}
+			case 1: // go one level deeper
+				switch depth {
+				case 0:
+					if err := r.m.EEnter(c, outer.SECS(), outerTCS, false); err == nil {
+						depth = 1
+					}
+				case 1:
+					if err := r.ext.NEENTER(c, inner.SECS(), innerTCS); err == nil {
+						depth = 2
+					}
+				}
+			case 2: // go one level up
+				switch depth {
+				case 1:
+					if err := r.m.EExit(c, true); err == nil {
+						depth = 0
+					}
+				case 2:
+					if err := r.ext.NEEXIT(c); err == nil {
+						depth = 1
+					}
+				}
+			case 3: // kernel remap attack
+				v := pool[int(st.Addr)%len(pool)]
+				pa := framePool[int(st.Frame)%len(framePool)]
+				r.host.Proc.MapFixed(v.PageBase(), pa.PageBase(), isa.PermRW)
+			case 4: // evict an enclave page (requires untrusted context on
+				// this single-threaded driver, else shootdown would flush
+				// our own live context mid-run, which is fine too)
+				target := outer
+				if st.Addr%2 == 0 {
+					target = inner
+				}
+				hp := target.Image().HeapBase() + isa.VAddr(st.Frame%4)*isa.PageSize
+				_ = r.k.Driver.EvictPage(r.host.Proc, target.SECS(), hp)
+			}
+			if err := auditInvariants(r.m); err != nil {
+				t.Logf("violation after step %+v (depth %d): %v", st, depth, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

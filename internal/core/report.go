@@ -1,0 +1,120 @@
+package core
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+
+	"nestedenclave/internal/isa"
+	"nestedenclave/internal/measure"
+	"nestedenclave/internal/sgx"
+)
+
+// NestedReport is NEREPORT's output: an EREPORT-style claim extended with
+// the inner-outer relations of the reporting enclave (paper §IV-B, §IV-E
+// "Remote attestation"). An attestation to an outer enclave reports the
+// measurements of all inner enclaves sharing it, and an inner enclave's
+// report names its outer enclave(s) — so a challenger can verify not just
+// each enclave but the *shape* of the nesting.
+type NestedReport struct {
+	// Identity of the reporting enclave (as in EREPORT).
+	MRENCLAVE  measure.Digest
+	MRSIGNER   measure.Digest
+	Attributes uint64
+	ReportData [64]byte
+
+	// OuterMeasurements are the MRENCLAVEs of the enclaves this enclave is
+	// bound to as an inner, in association order.
+	OuterMeasurements []measure.Digest
+	// InnerMeasurements are the MRENCLAVEs of all inner enclaves bound to
+	// this enclave.
+	InnerMeasurements []measure.Digest
+
+	// TargetMRENCLAVE names the enclave able to verify this report.
+	TargetMRENCLAVE measure.Digest
+	MAC             [32]byte
+}
+
+func (r *NestedReport) macInput() []byte {
+	h := sha256.New()
+	h.Write([]byte("NEREPORT"))
+	h.Write(r.MRENCLAVE[:])
+	h.Write(r.MRSIGNER[:])
+	var a [8]byte
+	binary.LittleEndian.PutUint64(a[:], r.Attributes)
+	h.Write(a[:])
+	h.Write(r.ReportData[:])
+	binary.LittleEndian.PutUint64(a[:], uint64(len(r.OuterMeasurements)))
+	h.Write(a[:])
+	for _, d := range r.OuterMeasurements {
+		h.Write(d[:])
+	}
+	binary.LittleEndian.PutUint64(a[:], uint64(len(r.InnerMeasurements)))
+	h.Write(a[:])
+	for _, d := range r.InnerMeasurements {
+		h.Write(d[:])
+	}
+	h.Write(r.TargetMRENCLAVE[:])
+	return h.Sum(nil)
+}
+
+// NEREPORT produces a report about the enclave currently executing on core
+// c, including its association relationships, targeted at (verifiable by)
+// the enclave with measurement target.
+func (e *Extension) NEREPORT(c *sgx.Core, target measure.Digest, reportData [64]byte) (*NestedReport, error) {
+	var r *NestedReport
+	err := e.m.Atomically(func() error {
+		if !c.InEnclave() {
+			return isa.GP("NEREPORT: not in enclave mode")
+		}
+		s := c.Current()
+		r = &NestedReport{
+			MRENCLAVE:       s.MRENCLAVE,
+			MRSIGNER:        s.MRSIGNER,
+			Attributes:      s.Attributes,
+			ReportData:      reportData,
+			TargetMRENCLAVE: target,
+		}
+		for _, oe := range s.Nested.OuterEIDs {
+			if o, ok := e.m.ResolveEID(oe); ok {
+				r.OuterMeasurements = append(r.OuterMeasurements, o.MRENCLAVE)
+			}
+		}
+		for _, ie := range s.Nested.InnerEIDs {
+			if in, ok := e.m.ResolveEID(ie); ok {
+				r.InnerMeasurements = append(r.InnerMeasurements, in.MRENCLAVE)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.MAC = e.m.MACWithReportKey(target, r.macInput())
+	return r, nil
+}
+
+// VerifyNestedReport checks a nested report addressed to the enclave running
+// on core c. Only that enclave can derive the report key, so a valid MAC
+// proves the report came from NEREPORT on the same platform.
+func (e *Extension) VerifyNestedReport(c *sgx.Core, r *NestedReport) error {
+	var target measure.Digest
+	err := e.m.Atomically(func() error {
+		if !c.InEnclave() {
+			return isa.GP("nested report verify: not in enclave mode")
+		}
+		if r.TargetMRENCLAVE != c.Current().MRENCLAVE {
+			return isa.GP("nested report verify: report targets a different enclave")
+		}
+		target = c.Current().MRENCLAVE
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	want := e.m.MACWithReportKey(target, r.macInput())
+	if !hmac.Equal(want[:], r.MAC[:]) {
+		return isa.GP("nested report verify: MAC mismatch")
+	}
+	return nil
+}

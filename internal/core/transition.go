@@ -1,0 +1,107 @@
+package core
+
+import (
+	"nestedenclave/internal/isa"
+	"nestedenclave/internal/sgx"
+	"nestedenclave/internal/trace"
+)
+
+// NEENTER transitions between associated enclaves without any detour
+// through the untrusted world (paper §IV-B). Before the transition it
+// checks that the destination enclave exists and is *associated* with the
+// currently executing enclave — an inner enclave of it, or (upward) one of
+// its outer enclaves — that the destination TCS is idle, and that the core
+// is in enclave mode; any invalid invocation is a general-protection fault.
+// On success the current context is saved to the destination TCS's reserved
+// frame, the TLB is flushed, the TCS is marked busy, and control transfers
+// to the destination's entry point.
+//
+// The downward direction (outer→inner) is the paper's base semantics. The
+// upward direction (inner→outer) implements n_ocall for inner enclaves that
+// were entered directly from untrusted code (the §VI-B deployments, where
+// clients ecall into their per-user inner enclave and the inner calls the
+// shared service): it grants the inner nothing new — the asymmetric
+// permission model already gives it full access to the outer enclave's
+// memory — while keeping the transition inside protected mode.
+func (e *Extension) NEENTER(c *sgx.Core, target *sgx.SECS, tcsVaddr isa.VAddr) error {
+	return e.m.Atomically(func() error {
+		if !c.InEnclave() {
+			return isa.GP("NEENTER: core %d not in enclave mode", c.ID)
+		}
+		cur := c.Current()
+		if target == nil || !target.Initialized {
+			return isa.GP("NEENTER: destination enclave does not exist or is uninitialized")
+		}
+		if !cur.Nested.HasInner(target.EID) && !cur.Nested.HasOuter(target.EID) {
+			return isa.GP("NEENTER: enclave %d is not associated with %d", target.EID, cur.EID)
+		}
+		t, err := target.FindTCS(tcsVaddr)
+		if err != nil {
+			return isa.GP("NEENTER: %v", err)
+		}
+		if t.Busy {
+			return isa.GP("NEENTER: destination TCS %#x busy", uint64(tcsVaddr))
+		}
+		c.SwitchToNestedLocked(target, t)
+		e.m.Rec.Charge(trace.EvNEENTER, trace.CostNEENTER)
+		return nil
+	})
+}
+
+// NEEXIT transitions from an inner enclave back to the outer enclave it was
+// entered from. It clears all the information of the inner enclave —
+// flushing the TLB and zeroing the register file — releases the TCS, and
+// restores the suspended outer context. Executing NEEXIT outside a nested
+// entry is a general-protection fault.
+func (e *Extension) NEEXIT(c *sgx.Core) error {
+	return e.m.Atomically(func() error {
+		if !c.InEnclave() {
+			return isa.GP("NEEXIT: core %d not in enclave mode", c.ID)
+		}
+		t := c.CurrentTCS()
+		if t == nil || !t.Ret() {
+			return isa.GP("NEEXIT: no suspended outer context (not a nested entry)")
+		}
+		c.SwitchFromNestedLocked()
+		e.m.Rec.Charge(trace.EvNEEXIT, trace.CostNEEXIT)
+		return nil
+	})
+}
+
+// TrackerExt is the §IV-E thread-tracking extension. Evicting an EPC page of
+// an outer enclave must shoot down not only cores with live context in that
+// enclave, but also cores running any of its (transitive) inner enclaves —
+// those cores legitimately hold translations for outer pages via the
+// Figure-6 nested validation branch.
+type TrackerExt struct{}
+
+// CoresToShootdown implements sgx.Tracker.
+func (TrackerExt) CoresToShootdown(m *sgx.Machine, eid isa.EID) []*sgx.Core {
+	var out []*sgx.Core
+	for _, c := range m.Cores() {
+		if coreTouches(m, c, eid) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// coreTouches reports whether the core has live context in enclave eid or in
+// any enclave whose outer closure contains eid.
+func coreTouches(m *sgx.Machine, c *sgx.Core, eid isa.EID) bool {
+	for _, e := range c.ExecutingEIDs() {
+		if e == eid {
+			return true
+		}
+		s, ok := m.ResolveEID(e)
+		if !ok {
+			continue
+		}
+		for _, o := range outerChain(m, s) {
+			if o.EID == eid {
+				return true
+			}
+		}
+	}
+	return false
+}

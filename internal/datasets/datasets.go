@@ -1,0 +1,104 @@
+// Package datasets generates synthetic classification datasets with the
+// shapes of the paper's Table V (cod-rna, colon-cancer, dna, phishing,
+// protein). The originals are external downloads; the evaluation only
+// depends on their dimensionality — class count, training/testing sizes and
+// feature width set the compute/communication ratio Figure 9 measures — so
+// deterministic Gaussian-blob surrogates with the same shapes preserve the
+// experiment (see DESIGN.md, substitutions).
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Spec describes a dataset's shape, mirroring one row of Table V.
+type Spec struct {
+	Name     string
+	Classes  int
+	Train    int
+	Test     int // 0: the paper reuses a fraction of the training set
+	Features int
+}
+
+// TableV lists the paper's datasets.
+func TableV() []Spec {
+	return []Spec{
+		{Name: "cod-rna", Classes: 2, Train: 59535, Test: 0, Features: 8},
+		{Name: "colon-cancer", Classes: 2, Train: 62, Test: 0, Features: 2000},
+		{Name: "dna", Classes: 3, Train: 2000, Test: 1186, Features: 180},
+		{Name: "phishing", Classes: 2, Train: 11055, Test: 0, Features: 68},
+		{Name: "protein", Classes: 3, Train: 17766, Test: 6621, Features: 357},
+	}
+}
+
+// ByName returns the Table V spec with the given name.
+func ByName(name string) (Spec, error) {
+	for _, s := range TableV() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("datasets: unknown dataset %q", name)
+}
+
+// Scale returns a copy with train/test sizes multiplied by f (at least one
+// sample per class), used to run the full experiment shape at laptop scale.
+func (s Spec) Scale(f float64) Spec {
+	scaled := s
+	scaled.Train = max(int(float64(s.Train)*f), s.Classes*2)
+	if s.Test > 0 {
+		scaled.Test = max(int(float64(s.Test)*f), s.Classes)
+	}
+	return scaled
+}
+
+// Data is a generated dataset.
+type Data struct {
+	Spec   Spec
+	TrainX [][]float64
+	TrainY []int
+	TestX  [][]float64
+	TestY  []int
+}
+
+// Generate produces a deterministic dataset for the spec: one Gaussian blob
+// per class, centres spread on a simplex, 20% label-free overlap so the
+// problem is separable-but-not-trivially (support vectors exist).
+func Generate(spec Spec, seed int64) *Data {
+	rng := rand.New(rand.NewSource(seed))
+	centres := make([][]float64, spec.Classes)
+	for c := range centres {
+		centres[c] = make([]float64, spec.Features)
+		for f := range centres[c] {
+			// Deterministic per-class direction.
+			centres[c][f] = 2 * math.Sin(float64(c+1)*float64(f+1))
+		}
+	}
+	sample := func(n int) ([][]float64, []int) {
+		X := make([][]float64, n)
+		Y := make([]int, n)
+		for i := range X {
+			c := i % spec.Classes
+			x := make([]float64, spec.Features)
+			for f := range x {
+				x[f] = centres[c][f] + rng.NormFloat64()*1.2
+			}
+			X[i] = x
+			Y[i] = c
+		}
+		return X, Y
+	}
+	d := &Data{Spec: spec}
+	d.TrainX, d.TrainY = sample(spec.Train)
+	if spec.Test > 0 {
+		d.TestX, d.TestY = sample(spec.Test)
+	} else {
+		// "Training set is reused as test set" for datasets without one —
+		// the paper uses a fraction of the training data for prediction.
+		n := max(spec.Train/4, 1)
+		d.TestX, d.TestY = d.TrainX[:n], d.TrainY[:n]
+	}
+	return d
+}

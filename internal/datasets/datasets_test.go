@@ -1,0 +1,90 @@
+package datasets
+
+import (
+	"testing"
+)
+
+func TestTableVShapes(t *testing.T) {
+	specs := TableV()
+	if len(specs) != 5 {
+		t.Fatalf("Table V has %d rows", len(specs))
+	}
+	want := map[string][4]int{ // classes, train, test, features
+		"cod-rna":      {2, 59535, 0, 8},
+		"colon-cancer": {2, 62, 0, 2000},
+		"dna":          {3, 2000, 1186, 180},
+		"phishing":     {2, 11055, 0, 68},
+		"protein":      {3, 17766, 6621, 357},
+	}
+	for _, s := range specs {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected dataset %s", s.Name)
+			continue
+		}
+		if s.Classes != w[0] || s.Train != w[1] || s.Test != w[2] || s.Features != w[3] {
+			t.Errorf("%s: %+v, want %v", s.Name, s, w)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("dna")
+	if err != nil || s.Classes != 3 {
+		t.Fatalf("ByName(dna): %+v %v", s, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown dataset resolved")
+	}
+}
+
+func TestGenerateShapesAndDeterminism(t *testing.T) {
+	spec := Spec{Name: "t", Classes: 3, Train: 90, Test: 30, Features: 5}
+	d := Generate(spec, 1)
+	if len(d.TrainX) != 90 || len(d.TrainY) != 90 || len(d.TestX) != 30 {
+		t.Fatalf("shapes: %d %d %d", len(d.TrainX), len(d.TrainY), len(d.TestX))
+	}
+	for _, x := range d.TrainX {
+		if len(x) != 5 {
+			t.Fatalf("feature width %d", len(x))
+		}
+	}
+	// All classes present.
+	seen := map[int]bool{}
+	for _, y := range d.TrainY {
+		seen[y] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("classes present: %v", seen)
+	}
+	// Deterministic for a seed, different across seeds.
+	d2 := Generate(spec, 1)
+	if d.TrainX[0][0] != d2.TrainX[0][0] {
+		t.Fatal("not deterministic")
+	}
+	d3 := Generate(spec, 2)
+	if d.TrainX[0][0] == d3.TrainX[0][0] {
+		t.Fatal("seed has no effect")
+	}
+}
+
+func TestTestSetFallback(t *testing.T) {
+	spec := Spec{Name: "t", Classes: 2, Train: 40, Test: 0, Features: 3}
+	d := Generate(spec, 1)
+	if len(d.TestX) != 10 { // quarter of the training set
+		t.Fatalf("fallback test size %d", len(d.TestX))
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := Spec{Name: "t", Classes: 3, Train: 1000, Test: 500, Features: 2}
+	sc := s.Scale(0.01)
+	if sc.Train != 10 || sc.Test != 5 {
+		t.Fatalf("scaled: %+v", sc)
+	}
+	// Scaling never goes below one sample per class.
+	tiny := s.Scale(0.000001)
+	if tiny.Train < s.Classes {
+		t.Fatalf("over-scaled: %+v", tiny)
+	}
+}

@@ -1,0 +1,106 @@
+package epc
+
+import (
+	"testing"
+
+	"nestedenclave/internal/isa"
+	"nestedenclave/internal/phys"
+)
+
+func newMgr() *Manager {
+	mem := phys.MustNew(phys.Layout{DRAMSize: 4 << 20, PRMBase: 1 << 20, PRMSize: 2 << 20})
+	return NewManager(mem)
+}
+
+func TestAllocFree(t *testing.T) {
+	m := newMgr()
+	total := m.NumPages()
+	if total != (2<<20)/isa.PageSize {
+		t.Fatalf("NumPages = %d", total)
+	}
+	i, err := m.Alloc(7, isa.PTReg, 0x1000, isa.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FreePages() != total-1 {
+		t.Fatalf("free pages = %d", m.FreePages())
+	}
+	e := m.Entry(i)
+	if !e.Valid || e.Owner != 7 || e.Vaddr != 0x1000 || e.Perms != isa.PermRW || e.Type != isa.PTReg {
+		t.Fatalf("entry = %+v", e)
+	}
+	if err := m.Free(i); err != nil {
+		t.Fatal(err)
+	}
+	if m.Entry(i).Valid {
+		t.Fatal("entry valid after free")
+	}
+	if err := m.Free(i); err == nil {
+		t.Fatal("double free accepted")
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	m := newMgr()
+	n := m.NumPages()
+	for i := 0; i < n; i++ {
+		if _, err := m.Alloc(1, isa.PTReg, isa.VAddr(i)<<isa.PageShift, isa.PermR); err != nil {
+			t.Fatalf("alloc %d/%d failed: %v", i, n, err)
+		}
+	}
+	if _, err := m.Alloc(1, isa.PTReg, 0, isa.PermR); err == nil {
+		t.Fatal("allocation beyond capacity succeeded")
+	}
+}
+
+func TestAddrIndexRoundTrip(t *testing.T) {
+	m := newMgr()
+	for _, i := range []int{0, 1, 100, m.NumPages() - 1} {
+		pa := m.AddrOf(i)
+		j, ok := m.IndexOf(pa)
+		if !ok || j != i {
+			t.Fatalf("IndexOf(AddrOf(%d)) = %d, %v", i, j, ok)
+		}
+		// Interior addresses map to the same page.
+		j2, ok := m.IndexOf(pa + 17)
+		if !ok || j2 != i {
+			t.Fatalf("interior IndexOf = %d, %v", j2, ok)
+		}
+	}
+	if _, ok := m.IndexOf(0); ok {
+		t.Fatal("address below EPC resolved")
+	}
+	if _, ok := m.IndexOf(m.Base() + isa.PAddr(m.NumPages())*isa.PageSize); ok {
+		t.Fatal("address above EPC resolved")
+	}
+}
+
+func TestEntryAt(t *testing.T) {
+	m := newMgr()
+	i, _ := m.Alloc(3, isa.PTSECS, 0, 0)
+	e, ok := m.EntryAt(m.AddrOf(i) + 100)
+	if !ok || e.Owner != 3 || e.Type != isa.PTSECS {
+		t.Fatalf("EntryAt: %+v ok=%v", e, ok)
+	}
+	if _, ok := m.EntryAt(0x1000); ok {
+		t.Fatal("EntryAt outside EPC resolved")
+	}
+}
+
+func TestPagesOf(t *testing.T) {
+	m := newMgr()
+	a, _ := m.Alloc(1, isa.PTReg, 0x1000, isa.PermR)
+	b, _ := m.Alloc(2, isa.PTReg, 0x2000, isa.PermR)
+	c, _ := m.Alloc(1, isa.PTTCS, 0x3000, 0)
+	got := m.PagesOf(1)
+	if len(got) != 2 {
+		t.Fatalf("PagesOf(1) = %v", got)
+	}
+	seen := map[int]bool{}
+	for _, p := range got {
+		seen[p] = true
+	}
+	if !seen[a] || !seen[c] || seen[b] {
+		t.Fatalf("PagesOf(1) = %v, want {%d,%d}", got, a, c)
+	}
+}

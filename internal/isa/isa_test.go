@@ -1,0 +1,123 @@
+package isa
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddressArithmetic(t *testing.T) {
+	v := VAddr(0x1234_5678)
+	if got := v.PageBase(); got != 0x1234_5000 {
+		t.Errorf("PageBase = %#x", uint64(got))
+	}
+	if got := v.Offset(); got != 0x678 {
+		t.Errorf("Offset = %#x", got)
+	}
+	if got := v.VPN(); got != 0x12345 {
+		t.Errorf("VPN = %#x", got)
+	}
+	p := PAddr(0x9abc_def0)
+	if got := p.LineBase(); got != 0x9abc_dec0 {
+		t.Errorf("LineBase = %#x", uint64(got))
+	}
+	if got := p.PPN(); got != 0x9abcd {
+		t.Errorf("PPN = %#x", got)
+	}
+}
+
+func TestAddressIdentities(t *testing.T) {
+	f := func(x uint64) bool {
+		v := VAddr(x)
+		return uint64(v.PageBase())+v.Offset() == x &&
+			v.VPN() == uint64(v.PageBase())>>PageShift
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(x uint64) bool {
+		p := PAddr(x)
+		return uint64(p.LineBase())%LineSize == 0 && uint64(p.LineBase()) <= x
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermAllows(t *testing.T) {
+	cases := []struct {
+		p    Perm
+		a    Access
+		want bool
+	}{
+		{PermR, Read, true},
+		{PermR, Write, false},
+		{PermR, Execute, false},
+		{PermRW, Write, true},
+		{PermRW, Execute, false},
+		{PermRX, Execute, true},
+		{PermRX, Write, false},
+		{PermRWX, Read, true},
+		{PermRWX, Write, true},
+		{PermRWX, Execute, true},
+		{0, Read, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Allows(c.a); got != c.want {
+			t.Errorf("%v.Allows(%v) = %v, want %v", c.p, c.a, got, c.want)
+		}
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if s := PermRWX.String(); s != "rwx" {
+		t.Errorf("PermRWX = %q", s)
+	}
+	if s := PermR.String(); s != "r--" {
+		t.Errorf("PermR = %q", s)
+	}
+	if s := Perm(0).String(); s != "---" {
+		t.Errorf("zero perm = %q", s)
+	}
+}
+
+func TestFaults(t *testing.T) {
+	f := PF(0x1000, Write, "test %d", 42)
+	if f.Class != FaultPF || f.Addr != 0x1000 || f.Op != Write {
+		t.Errorf("PF fields: %+v", f)
+	}
+	if !IsFault(f, FaultPF) {
+		t.Error("IsFault(PF, FaultPF) = false")
+	}
+	if IsFault(f, FaultGP) {
+		t.Error("IsFault(PF, FaultGP) = true")
+	}
+	if IsFault(errors.New("plain"), FaultPF) {
+		t.Error("IsFault(plain error) = true")
+	}
+	g := GP("bad %s", "thing")
+	if g.Class != FaultGP {
+		t.Errorf("GP class = %v", g.Class)
+	}
+	m := MC("tamper")
+	if m.Class != FaultMC {
+		t.Errorf("MC class = %v", m.Class)
+	}
+	for _, e := range []error{f, g, m} {
+		if e.Error() == "" {
+			t.Error("empty fault message")
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" || Execute.String() != "execute" {
+		t.Error("Access stringer")
+	}
+	if PTSECS.String() != "PT_SECS" || PTReg.String() != "PT_REG" {
+		t.Error("PageType stringer")
+	}
+	if FaultGP.String() != "#GP" || FaultPF.String() != "#PF" || FaultMC.String() != "#MC" {
+		t.Error("FaultClass stringer")
+	}
+}

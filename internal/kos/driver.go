@@ -1,0 +1,261 @@
+package kos
+
+import (
+	"fmt"
+	"sync"
+
+	"nestedenclave/internal/isa"
+	"nestedenclave/internal/measure"
+	"nestedenclave/internal/sgx"
+)
+
+// Driver is the SGX kernel driver: the privileged side of enclave
+// construction and EPC paging, the equivalent of the Linux SGX driver the
+// paper modified.
+type Driver struct {
+	k  *Kernel
+	mu sync.Mutex
+
+	// evicted stores sealed EPC pages swapped to "disk" (kernel memory),
+	// keyed by owner and virtual address.
+	evicted map[evictKey]*sgx.EvictedPage
+
+	// procs remembers which process each enclave is mapped in, so the
+	// paging daemon can fix page tables when it evicts a victim.
+	procs map[isa.EID]*Process
+	// victimCursor rotates victim selection across the EPC.
+	victimCursor int
+
+	// SkipShootdown makes EvictPage omit the TLB-shootdown IPIs — an
+	// incorrect (or malicious) kernel. The hardware's EWB check is expected
+	// to refuse the eviction while stale translations remain.
+	SkipShootdown bool
+}
+
+type evictKey struct {
+	owner isa.EID
+	vaddr isa.VAddr
+}
+
+// CreateEnclave performs ECREATE on behalf of the loader.
+func (d *Driver) CreateEnclave(base isa.VAddr, size uint64, attrs uint64) (*sgx.SECS, error) {
+	return d.k.m.ECreate(base, size, attrs)
+}
+
+// AddPage performs EADD and maps the new EPC page into the process address
+// space at its declared virtual address. TCS pages are mapped read-only for
+// the page walk; the EPCM makes them inaccessible to software regardless.
+func (d *Driver) AddPage(p *Process, s *sgx.SECS, a sgx.AddPageArgs) error {
+	d.mu.Lock()
+	if d.procs == nil {
+		d.procs = make(map[isa.EID]*Process)
+	}
+	d.procs[s.EID] = p
+	d.mu.Unlock()
+	page, err := d.withPressure(s, func() (int, error) { return d.k.m.EAdd(s, a) })
+	if err != nil {
+		return err
+	}
+	ptePerms := a.Perms
+	if a.Type == isa.PTTCS {
+		ptePerms = isa.PermR
+	}
+	p.MapFixed(a.Vaddr, d.k.m.EPC.AddrOf(page), ptePerms)
+	return nil
+}
+
+// AugPage adds a zeroed page to an initialized enclave (SGX2 EAUG) and maps
+// it into the process.
+func (d *Driver) AugPage(p *Process, s *sgx.SECS, vaddr isa.VAddr, perms isa.Perm) error {
+	d.mu.Lock()
+	if d.procs == nil {
+		d.procs = make(map[isa.EID]*Process)
+	}
+	d.procs[s.EID] = p
+	d.mu.Unlock()
+	page, err := d.withPressure(s, func() (int, error) { return d.k.m.EAug(s, vaddr, perms) })
+	if err != nil {
+		return err
+	}
+	p.MapFixed(vaddr, d.k.m.EPC.AddrOf(page), perms)
+	return nil
+}
+
+// withPressure runs an EPC allocation, letting the paging daemon evict
+// victim pages and retry when the EPC is exhausted.
+func (d *Driver) withPressure(s *sgx.SECS, alloc func() (int, error)) (int, error) {
+	const maxAttempts = 8
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		page, err := alloc()
+		if err == nil {
+			return page, nil
+		}
+		lastErr = err
+		if d.k.m.EPC.FreePages() > 0 {
+			return 0, err // not a pressure failure
+		}
+		if derr := d.makeRoom(s.EID); derr != nil {
+			return 0, fmt.Errorf("kos: EPC exhausted and paging daemon failed: %v (alloc: %w)", derr, err)
+		}
+	}
+	return 0, fmt.Errorf("kos: EPC allocation failed after paging: %w", lastErr)
+}
+
+// makeRoom is the paging daemon: it picks a resident regular page (rotating
+// across the EPC, skipping the enclave currently being served when
+// possible) and evicts it through the full architectural protocol.
+func (d *Driver) makeRoom(avoid isa.EID) error {
+	m := d.k.m
+	n := m.EPC.NumPages()
+	tryEvict := func(skipAvoid bool) error {
+		for off := 0; off < n; off++ {
+			idx := (d.victimCursor + off) % n
+			ent := m.EPC.Entry(idx)
+			if !ent.Valid || ent.Blocked || ent.Type != isa.PTReg {
+				continue
+			}
+			if skipAvoid && ent.Owner == avoid {
+				continue
+			}
+			owner, ok := m.Enclave(ent.Owner)
+			if !ok {
+				continue
+			}
+			d.mu.Lock()
+			proc := d.procs[ent.Owner]
+			d.mu.Unlock()
+			if proc == nil {
+				continue
+			}
+			if err := d.EvictPage(proc, owner, ent.Vaddr); err != nil {
+				continue // e.g. live translations on a busy enclave; try another victim
+			}
+			d.victimCursor = (idx + 1) % n
+			return nil
+		}
+		return fmt.Errorf("no evictable EPC page found")
+	}
+	if err := tryEvict(true); err == nil {
+		return nil
+	}
+	return tryEvict(false)
+}
+
+// InitEnclave performs EINIT.
+func (d *Driver) InitEnclave(s *sgx.SECS, cert *measure.SigStruct) error {
+	return d.k.m.EInit(s, cert)
+}
+
+// DestroyEnclave unmaps and removes every page of the enclave.
+func (d *Driver) DestroyEnclave(p *Process, s *sgx.SECS) error {
+	d.mu.Lock()
+	for key := range d.evicted {
+		if key.owner == s.EID {
+			delete(d.evicted, key)
+		}
+	}
+	d.mu.Unlock()
+	if p != nil {
+		for v := s.Base; v < s.Base+isa.VAddr(s.Size); v += isa.PageSize {
+			p.pt.Unmap(v)
+		}
+	}
+	return d.k.m.DestroyEnclave(s)
+}
+
+// EvictPage swaps one regular EPC page of the enclave out to kernel storage
+// following the architectural protocol: EBLOCK, ETRACK, shootdown IPIs to
+// the cores the Tracker reports, then EWB. The process mapping is marked
+// not-present so the next access faults into reloadIfEvicted.
+func (d *Driver) EvictPage(p *Process, s *sgx.SECS, vaddr isa.VAddr) error {
+	m := d.k.m
+	pageIdx := -1
+	for _, i := range m.EPC.PagesOf(s.EID) {
+		ent := m.EPC.Entry(i)
+		if ent.Type == isa.PTReg && ent.Vaddr == vaddr.PageBase() {
+			pageIdx = i
+			break
+		}
+	}
+	if pageIdx < 0 {
+		return fmt.Errorf("kos: enclave %d has no regular EPC page at %#x", s.EID, uint64(vaddr))
+	}
+	if err := m.EBlock(pageIdx); err != nil {
+		return err
+	}
+	cores := m.ETrack(s)
+	if !d.SkipShootdown {
+		for _, c := range cores {
+			m.Shootdown(c)
+		}
+	}
+	blob, err := m.EWB(pageIdx)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.evicted[evictKey{owner: s.EID, vaddr: vaddr.PageBase()}] = blob
+	d.mu.Unlock()
+	p.pt.MarkNotPresent(vaddr)
+	return nil
+}
+
+// reloadIfEvicted is the page-fault path: if the faulting address names an
+// evicted EPC page of the faulting enclave (or, with nesting, of one of its
+// outer enclaves), reload it with ELDU and fix the mapping.
+func (d *Driver) reloadIfEvicted(c *sgx.Core, f *isa.Fault) bool {
+	m := d.k.m
+	vpage := f.Addr.PageBase()
+	d.mu.Lock()
+	var blob *sgx.EvictedPage
+	var key evictKey
+	for k, b := range d.evicted {
+		if k.vaddr == vpage {
+			blob, key = b, k
+			break
+		}
+	}
+	if blob == nil {
+		d.mu.Unlock()
+		return false
+	}
+	delete(d.evicted, key)
+	d.mu.Unlock()
+
+	// Under EPC pressure the reload itself may need the paging daemon to
+	// make room first.
+	page, err := m.ELDU(blob)
+	for attempt := 0; err != nil && m.EPC.FreePages() == 0 && attempt < 4; attempt++ {
+		if d.makeRoom(blob.Owner) != nil {
+			break
+		}
+		page, err = m.ELDU(blob)
+	}
+	if err != nil {
+		// Put the blob back so the page is not lost; the access will fail
+		// but a later retry can still succeed.
+		d.mu.Lock()
+		d.evicted[key] = blob
+		d.mu.Unlock()
+		return false
+	}
+	// Re-establish the mapping in the owning process (and hence the
+	// faulting core's address space).
+	d.mu.Lock()
+	proc := d.procs[blob.Owner]
+	d.mu.Unlock()
+	if proc != nil {
+		proc.pt.Map(vpage, m.EPC.AddrOf(page), blob.Perms)
+	} else if c.PT != nil {
+		c.PT.Map(vpage, m.EPC.AddrOf(page), blob.Perms)
+	}
+	return true
+}
+
+// EvictedCount reports how many pages are currently swapped out (tests).
+func (d *Driver) EvictedCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.evicted)
+}

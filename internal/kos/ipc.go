@@ -1,0 +1,120 @@
+package kos
+
+import (
+	"sync"
+)
+
+// IPCService is the OS-provided inter-process/inter-enclave message channel
+// — the communication path the current SGX model forces peer enclaves onto.
+//
+// Because the kernel implements it, the kernel is an active man in the
+// middle. The adversary knobs reproduce the Panoply-style attacks the paper
+// discusses in §VII-B: the OS "can drop an IPC request selectively or create
+// a fake or old message", and it can read any plaintext that crosses the
+// channel. Enclaves defending themselves here must layer authenticated
+// encryption on top (package channel's GCMChannel); nested enclaves instead
+// route messages through outer-enclave memory the kernel cannot touch.
+type IPCService struct {
+	k  *Kernel
+	mu sync.Mutex
+
+	queues map[string][]Message
+	seen   map[string][]Message // everything ever sent: the kernel's log
+
+	adversary map[string]*IPCAdversary
+}
+
+// Message is one IPC datagram as the kernel stores it.
+type Message struct {
+	Payload []byte
+}
+
+// IPCAdversary configures active attacks on one channel.
+type IPCAdversary struct {
+	// DropNext counts messages to silently discard.
+	DropNext int
+	// DropIf selectively discards matching messages (e.g. "the
+	// initialization call"), leaving others through.
+	DropIf func(payload []byte) bool
+	// ReplayLast re-delivers the previously seen message instead of the
+	// fresh one.
+	ReplayLast bool
+	// Forge, when non-nil, is delivered in place of each sent message.
+	Forge func(payload []byte) []byte
+}
+
+// NewIPCService creates the kernel's IPC router.
+func NewIPCService(k *Kernel) *IPCService {
+	return &IPCService{
+		k:         k,
+		queues:    make(map[string][]Message),
+		seen:      make(map[string][]Message),
+		adversary: make(map[string]*IPCAdversary),
+	}
+}
+
+// SetAdversary installs attack behaviour on a channel.
+func (s *IPCService) SetAdversary(channel string, a *IPCAdversary) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.adversary[channel] = a
+}
+
+// Send enqueues a message on the named channel, subject to the adversary.
+func (s *IPCService) Send(channel string, payload []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := append([]byte(nil), payload...)
+	s.seen[channel] = append(s.seen[channel], Message{Payload: cp})
+	if a := s.adversary[channel]; a != nil {
+		if a.DropNext > 0 {
+			a.DropNext--
+			return
+		}
+		if a.DropIf != nil && a.DropIf(cp) {
+			return
+		}
+		if a.Forge != nil {
+			cp = append([]byte(nil), a.Forge(cp)...)
+		}
+		if a.ReplayLast {
+			log := s.seen[channel]
+			if len(log) >= 2 {
+				cp = append([]byte(nil), log[len(log)-2].Payload...)
+			}
+		}
+	}
+	s.queues[channel] = append(s.queues[channel], Message{Payload: cp})
+}
+
+// TryRecv dequeues the next message, if any.
+func (s *IPCService) TryRecv(channel string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.queues[channel]
+	if len(q) == 0 {
+		return nil, false
+	}
+	msg := q[0]
+	s.queues[channel] = q[1:]
+	return msg.Payload, true
+}
+
+// Eavesdrop returns the kernel's log of every payload sent on the channel —
+// the OS can always read what crosses its own IPC path.
+func (s *IPCService) Eavesdrop(channel string) [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([][]byte, 0, len(s.seen[channel]))
+	for _, m := range s.seen[channel] {
+		out = append(out, append([]byte(nil), m.Payload...))
+	}
+	return out
+}
+
+// Pending reports the queue depth (tests).
+func (s *IPCService) Pending(channel string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queues[channel])
+}

@@ -1,0 +1,173 @@
+package kos_test
+
+import (
+	"bytes"
+	"testing"
+
+	"nestedenclave/internal/isa"
+	"nestedenclave/internal/kos"
+	"nestedenclave/internal/sgx"
+)
+
+func newKernel(t *testing.T) *kos.Kernel {
+	t.Helper()
+	return kos.New(sgx.MustNew(sgx.SmallConfig()))
+}
+
+func TestMmapAndAccess(t *testing.T) {
+	k := newKernel(t)
+	p := k.NewProcess()
+	c := k.Machine().Core(0)
+	if err := k.Schedule(c, p); err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.Mmap(3*isa.PageSize, isa.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("ordinary process memory")
+	if err := c.Write(v+100, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(v+100, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read back %q", got)
+	}
+	// Fresh mappings are zeroed.
+	z, _ := c.Read(v+isa.PageSize, 16)
+	if !bytes.Equal(z, make([]byte, 16)) {
+		t.Fatalf("fresh mapping not zeroed: %v", z)
+	}
+	// Distinct mmaps do not overlap.
+	v2, err := p.Mmap(isa.PageSize, isa.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 >= v && v2 < v+3*isa.PageSize {
+		t.Fatalf("overlapping mmap: %#x in [%#x, +3p)", uint64(v2), uint64(v))
+	}
+	if _, err := p.Mmap(0, isa.PermRW); err == nil {
+		t.Fatal("zero-length mmap accepted")
+	}
+}
+
+func TestProcessIsolationViaPageTables(t *testing.T) {
+	k := newKernel(t)
+	p1 := k.NewProcess()
+	p2 := k.NewProcess()
+	c := k.Machine().Core(0)
+	if err := k.Schedule(c, p1); err != nil {
+		t.Fatal(err)
+	}
+	v, err := p1.Mmap(isa.PageSize, isa.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(v, []byte("p1 data")); err != nil {
+		t.Fatal(err)
+	}
+	// Switching to p2, the same vaddr is unmapped.
+	if err := k.Schedule(c, p2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(v, 4); !isa.IsFault(err, isa.FaultPF) {
+		t.Fatalf("cross-process read returned %v, want #PF", err)
+	}
+}
+
+func TestScheduleRefusedInEnclaveMode(t *testing.T) {
+	k := newKernel(t)
+	p := k.NewProcess()
+	c := k.Machine().Core(0)
+	if err := k.Schedule(c, p); err != nil {
+		t.Fatal(err)
+	}
+	s, err := k.Driver.CreateEnclave(0x100000, 2*isa.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s
+	// (Entering requires a full build; the refusal path is checked via a
+	// synthetic in-enclave state in the sgx tests. Here: schedule while out
+	// of enclave mode always succeeds.)
+	if err := k.Schedule(c, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPCDelivery(t *testing.T) {
+	k := newKernel(t)
+	k.IPC.Send("ch", []byte("m1"))
+	k.IPC.Send("ch", []byte("m2"))
+	if k.IPC.Pending("ch") != 2 {
+		t.Fatalf("pending = %d", k.IPC.Pending("ch"))
+	}
+	m, ok := k.IPC.TryRecv("ch")
+	if !ok || string(m) != "m1" {
+		t.Fatalf("recv %q %v", m, ok)
+	}
+	m, _ = k.IPC.TryRecv("ch")
+	if string(m) != "m2" {
+		t.Fatalf("recv %q", m)
+	}
+	if _, ok := k.IPC.TryRecv("ch"); ok {
+		t.Fatal("recv from empty channel")
+	}
+}
+
+func TestIPCAdversaryDrop(t *testing.T) {
+	k := newKernel(t)
+	k.IPC.SetAdversary("ch", &kos.IPCAdversary{DropNext: 1})
+	k.IPC.Send("ch", []byte("init"))
+	k.IPC.Send("ch", []byte("data"))
+	m, ok := k.IPC.TryRecv("ch")
+	if !ok || string(m) != "data" {
+		t.Fatalf("selective drop failed: %q %v", m, ok)
+	}
+}
+
+func TestIPCAdversarySelectiveDrop(t *testing.T) {
+	k := newKernel(t)
+	k.IPC.SetAdversary("ch", &kos.IPCAdversary{
+		DropIf: func(p []byte) bool { return bytes.HasPrefix(p, []byte("INIT")) },
+	})
+	k.IPC.Send("ch", []byte("INIT callback"))
+	k.IPC.Send("ch", []byte("request"))
+	m, ok := k.IPC.TryRecv("ch")
+	if !ok || string(m) != "request" {
+		t.Fatalf("DropIf failed: %q", m)
+	}
+}
+
+func TestIPCAdversaryForgeAndReplay(t *testing.T) {
+	k := newKernel(t)
+	k.IPC.SetAdversary("ch", &kos.IPCAdversary{
+		Forge: func(p []byte) []byte { return []byte("forged") },
+	})
+	k.IPC.Send("ch", []byte("real"))
+	m, _ := k.IPC.TryRecv("ch")
+	if string(m) != "forged" {
+		t.Fatalf("forge failed: %q", m)
+	}
+	k2 := newKernel(t)
+	k2.IPC.SetAdversary("ch", &kos.IPCAdversary{ReplayLast: true})
+	k2.IPC.Send("ch", []byte("first"))
+	k2.IPC.Send("ch", []byte("second"))
+	_, _ = k2.IPC.TryRecv("ch")
+	m, _ = k2.IPC.TryRecv("ch")
+	if string(m) != "first" {
+		t.Fatalf("replay failed: %q", m)
+	}
+}
+
+func TestIPCEavesdrop(t *testing.T) {
+	k := newKernel(t)
+	k.IPC.Send("ch", []byte("secret-plaintext"))
+	log := k.IPC.Eavesdrop("ch")
+	if len(log) != 1 || string(log[0]) != "secret-plaintext" {
+		t.Fatalf("kernel log: %q", log)
+	}
+}

@@ -1,0 +1,242 @@
+// Package measure implements enclave measurement and the author-signed
+// enclave certificate (SIGSTRUCT).
+//
+// MRENCLAVE is a SHA-256 accumulation over the enclave-building instruction
+// stream: ECREATE contributes the enclave's shape (ELRANGE size, attributes),
+// each EADD contributes the page's offset, type and permissions, and each
+// EEXTEND contributes 256-byte chunks of page content. Two enclaves have the
+// same MRENCLAVE exactly when they were built by the same sequence — the
+// property both EINIT and NASSO validation rely on.
+//
+// SIGSTRUCT binds an expected MRENCLAVE to the author's ed25519 key;
+// MRSIGNER is the SHA-256 hash of that public key.
+package measure
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"nestedenclave/internal/isa"
+)
+
+// Digest is a 256-bit measurement value (MRENCLAVE / MRSIGNER).
+type Digest [sha256.Size]byte
+
+// IsZero reports whether the digest is all zeroes.
+func (d Digest) IsZero() bool { return d == Digest{} }
+
+func (d Digest) String() string { return fmt.Sprintf("%x", d[:8]) }
+
+// Builder accumulates an MRENCLAVE while an enclave is constructed.
+type Builder struct {
+	h     []byte // running hash state, chained SHA-256
+	final bool
+}
+
+// NewBuilder starts a measurement.
+func NewBuilder() *Builder { return &Builder{} }
+
+func (b *Builder) chain(tag string, fields ...uint64) {
+	h := sha256.New()
+	h.Write(b.h)
+	h.Write([]byte(tag))
+	var buf [8]byte
+	for _, f := range fields {
+		binary.LittleEndian.PutUint64(buf[:], f)
+		h.Write(buf[:])
+	}
+	b.h = h.Sum(nil)
+}
+
+func (b *Builder) chainData(tag string, data []byte, fields ...uint64) {
+	h := sha256.New()
+	h.Write(b.h)
+	h.Write([]byte(tag))
+	var buf [8]byte
+	for _, f := range fields {
+		binary.LittleEndian.PutUint64(buf[:], f)
+		h.Write(buf[:])
+	}
+	h.Write(data)
+	b.h = h.Sum(nil)
+}
+
+// ECreate measures the enclave shape.
+func (b *Builder) ECreate(size uint64, attributes uint64) {
+	b.chain("ECREATE", size, attributes)
+}
+
+// EAdd measures a page's metadata: its offset within ELRANGE, type and
+// permissions (the "virtual memory layout specified by the enclave author").
+func (b *Builder) EAdd(offset uint64, t isa.PageType, perms isa.Perm) {
+	b.chain("EADD", offset, uint64(t), uint64(perms))
+}
+
+// EExtend measures one 256-byte chunk of page content at the given offset.
+func (b *Builder) EExtend(offset uint64, chunk []byte) {
+	if len(chunk) != isa.ExtendChunk {
+		panic(fmt.Sprintf("measure: EEXTEND chunk of %d bytes, want %d", len(chunk), isa.ExtendChunk))
+	}
+	b.chainData("EEXTEND", chunk, offset)
+}
+
+// Finalize freezes the measurement (EINIT) and returns MRENCLAVE.
+func (b *Builder) Finalize() Digest {
+	b.final = true
+	var d Digest
+	copy(d[:], b.h)
+	return d
+}
+
+// Current returns the running measurement without freezing it.
+func (b *Builder) Current() Digest {
+	var d Digest
+	copy(d[:], b.h)
+	return d
+}
+
+// Author is an enclave author's signing identity.
+type Author struct {
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// NewAuthor generates a fresh author key pair.
+func NewAuthor() (*Author, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	return &Author{pub: pub, priv: priv}, nil
+}
+
+// MustNewAuthor is NewAuthor that panics on failure (entropy exhaustion).
+func MustNewAuthor() *Author {
+	a, err := NewAuthor()
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Public returns the author's public key.
+func (a *Author) Public() ed25519.PublicKey { return a.pub }
+
+// Signer returns MRSIGNER for this author: SHA-256 of the public key.
+func (a *Author) Signer() Digest { return SignerOf(a.pub) }
+
+// SignerOf computes MRSIGNER for an arbitrary public key.
+func SignerOf(pub ed25519.PublicKey) Digest { return sha256.Sum256(pub) }
+
+// SigStruct is the enclave certificate shipped with a signed enclave file.
+// Nested enclave extends it (paper §IV-C) with the expected measurements of
+// the enclaves it may be associated with: the signed file of an inner or
+// outer enclave "must contain the expected measurement of the expected inner
+// or outer enclave", checked by NASSO.
+type SigStruct struct {
+	// EnclaveHash is the expected MRENCLAVE.
+	EnclaveHash Digest
+	// Signer is the author's public key; its hash becomes MRSIGNER.
+	Signer ed25519.PublicKey
+	// Signature covers EnclaveHash and the expected-association lists.
+	Signature []byte
+
+	// ExpectedOuters lists MRENCLAVEs of outer enclaves this enclave may
+	// bind to as an inner; ExpectedInners lists MRENCLAVEs of inner
+	// enclaves allowed to join this enclave as outer.
+	ExpectedOuters []Digest
+	ExpectedInners []Digest
+}
+
+func (s *SigStruct) signedBody() []byte {
+	h := sha256.New()
+	h.Write([]byte("SIGSTRUCT"))
+	h.Write(s.EnclaveHash[:])
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(s.ExpectedOuters)))
+	h.Write(n[:])
+	for _, d := range s.ExpectedOuters {
+		h.Write(d[:])
+	}
+	binary.LittleEndian.PutUint64(n[:], uint64(len(s.ExpectedInners)))
+	h.Write(n[:])
+	for _, d := range s.ExpectedInners {
+		h.Write(d[:])
+	}
+	return h.Sum(nil)
+}
+
+// Sign produces a SIGSTRUCT over the measurement and association lists.
+func (a *Author) Sign(enclaveHash Digest, expectedOuters, expectedInners []Digest) *SigStruct {
+	s := &SigStruct{
+		EnclaveHash:    enclaveHash,
+		Signer:         a.pub,
+		ExpectedOuters: expectedOuters,
+		ExpectedInners: expectedInners,
+	}
+	s.Signature = ed25519.Sign(a.priv, s.signedBody())
+	return s
+}
+
+// Verify checks the author signature; EINIT refuses unverifiable certs.
+func (s *SigStruct) Verify() error {
+	if len(s.Signer) != ed25519.PublicKeySize {
+		return fmt.Errorf("measure: malformed signer key")
+	}
+	if !ed25519.Verify(s.Signer, s.signedBody(), s.Signature) {
+		return fmt.Errorf("measure: SIGSTRUCT signature invalid")
+	}
+	return nil
+}
+
+// AllowsOuter reports whether the certificate authorizes association with an
+// outer enclave measuring d.
+func (s *SigStruct) AllowsOuter(d Digest) bool {
+	for _, e := range s.ExpectedOuters {
+		if e == d {
+			return true
+		}
+	}
+	return false
+}
+
+// AllowsInner reports whether the certificate authorizes an inner enclave
+// measuring d to join.
+func (s *SigStruct) AllowsInner(d Digest) bool {
+	for _, e := range s.ExpectedInners {
+		if e == d {
+			return true
+		}
+	}
+	return false
+}
+
+// KeyName selects a derived key class for EGETKEY.
+type KeyName uint16
+
+const (
+	// KeyReport keys the MAC over local-attestation REPORTs.
+	KeyReport KeyName = iota
+	// KeySeal derives sealing keys bound to MRENCLAVE or MRSIGNER.
+	KeySeal
+)
+
+// DeriveKey derives a 128-bit key from the platform secret and the caller's
+// identity, mirroring EGETKEY's derivation. All inputs are mixed through
+// HMAC-SHA256.
+func DeriveKey(platformSecret []byte, name KeyName, mrenclave, mrsigner Digest, extra []byte) [16]byte {
+	mac := hmac.New(sha256.New, platformSecret)
+	var n [2]byte
+	binary.LittleEndian.PutUint16(n[:], uint16(name))
+	mac.Write(n[:])
+	mac.Write(mrenclave[:])
+	mac.Write(mrsigner[:])
+	mac.Write(extra)
+	var out [16]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}

@@ -1,0 +1,202 @@
+package measure
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"nestedenclave/internal/isa"
+)
+
+func chunk(fill byte) []byte { return bytes.Repeat([]byte{fill}, isa.ExtendChunk) }
+
+func TestMeasurementDeterminism(t *testing.T) {
+	build := func() Digest {
+		b := NewBuilder()
+		b.ECreate(0x10000, 0)
+		b.EAdd(0, isa.PTReg, isa.PermRX)
+		b.EExtend(0, chunk(1))
+		b.EAdd(0x1000, isa.PTTCS, 0)
+		return b.Finalize()
+	}
+	if build() != build() {
+		t.Fatal("identical build sequences measure differently")
+	}
+}
+
+func TestMeasurementSensitivity(t *testing.T) {
+	base := func(mutate func(*Builder)) Digest {
+		b := NewBuilder()
+		b.ECreate(0x10000, 0)
+		b.EAdd(0, isa.PTReg, isa.PermRX)
+		b.EExtend(0, chunk(1))
+		mutate(b)
+		return b.Finalize()
+	}
+	ref := base(func(b *Builder) {})
+	variants := map[string]Digest{
+		"extra page":    base(func(b *Builder) { b.EAdd(0x1000, isa.PTReg, isa.PermRW) }),
+		"extra content": base(func(b *Builder) { b.EExtend(256, chunk(2)) }),
+	}
+	for name, d := range variants {
+		if d == ref {
+			t.Errorf("%s did not change the measurement", name)
+		}
+	}
+	// Different content bytes at the same offset.
+	b1 := NewBuilder()
+	b1.ECreate(0x10000, 0)
+	b1.EAdd(0, isa.PTReg, isa.PermRX)
+	b1.EExtend(0, chunk(1))
+	b2 := NewBuilder()
+	b2.ECreate(0x10000, 0)
+	b2.EAdd(0, isa.PTReg, isa.PermRX)
+	b2.EExtend(0, chunk(9))
+	if b1.Finalize() == b2.Finalize() {
+		t.Error("content change did not change the measurement")
+	}
+	// Different permissions.
+	b3 := NewBuilder()
+	b3.ECreate(0x10000, 0)
+	b3.EAdd(0, isa.PTReg, isa.PermRWX)
+	b3.EExtend(0, chunk(1))
+	if b3.Finalize() == ref {
+		t.Error("permission change did not change the measurement")
+	}
+	// Different ELRANGE size.
+	b4 := NewBuilder()
+	b4.ECreate(0x20000, 0)
+	b4.EAdd(0, isa.PTReg, isa.PermRX)
+	b4.EExtend(0, chunk(1))
+	if b4.Finalize() == ref {
+		t.Error("ELRANGE size change did not change the measurement")
+	}
+}
+
+func TestOrderMatters(t *testing.T) {
+	b1 := NewBuilder()
+	b1.ECreate(0x10000, 0)
+	b1.EAdd(0, isa.PTReg, isa.PermRX)
+	b1.EAdd(0x1000, isa.PTReg, isa.PermRW)
+	b2 := NewBuilder()
+	b2.ECreate(0x10000, 0)
+	b2.EAdd(0x1000, isa.PTReg, isa.PermRW)
+	b2.EAdd(0, isa.PTReg, isa.PermRX)
+	if b1.Finalize() == b2.Finalize() {
+		t.Fatal("page order does not affect the measurement")
+	}
+}
+
+func TestEExtendWrongChunkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short EEXTEND chunk accepted")
+		}
+	}()
+	b := NewBuilder()
+	b.EExtend(0, []byte{1, 2, 3})
+}
+
+func TestSigStructVerify(t *testing.T) {
+	a := MustNewAuthor()
+	var d Digest
+	d[0] = 0x42
+	s := a.Sign(d, nil, nil)
+	if err := s.Verify(); err != nil {
+		t.Fatalf("valid cert rejected: %v", err)
+	}
+	// Tampering with the enclave hash invalidates the signature.
+	s.EnclaveHash[1] ^= 1
+	if err := s.Verify(); err == nil {
+		t.Fatal("tampered cert accepted")
+	}
+	s.EnclaveHash[1] ^= 1
+	// Tampering with an association list invalidates the signature.
+	var o Digest
+	o[2] = 7
+	s2 := a.Sign(d, []Digest{o}, nil)
+	if err := s2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	s2.ExpectedOuters[0][0] ^= 1
+	if err := s2.Verify(); err == nil {
+		t.Fatal("tampered expected-outer list accepted")
+	}
+	// A different author's signature fails.
+	b := MustNewAuthor()
+	s3 := a.Sign(d, nil, nil)
+	s3.Signer = b.Public()
+	if err := s3.Verify(); err == nil {
+		t.Fatal("signer substitution accepted")
+	}
+	// Malformed signer key.
+	s4 := a.Sign(d, nil, nil)
+	s4.Signer = s4.Signer[:5]
+	if err := s4.Verify(); err == nil {
+		t.Fatal("malformed signer accepted")
+	}
+}
+
+func TestAllowLists(t *testing.T) {
+	a := MustNewAuthor()
+	var d, o1, o2 Digest
+	o1[0], o2[0] = 1, 2
+	s := a.Sign(d, []Digest{o1}, []Digest{o2})
+	if !s.AllowsOuter(o1) || s.AllowsOuter(o2) {
+		t.Error("AllowsOuter wrong")
+	}
+	if !s.AllowsInner(o2) || s.AllowsInner(o1) {
+		t.Error("AllowsInner wrong")
+	}
+}
+
+func TestSignerIdentity(t *testing.T) {
+	a := MustNewAuthor()
+	b := MustNewAuthor()
+	if a.Signer() == b.Signer() {
+		t.Fatal("distinct authors share MRSIGNER")
+	}
+	if a.Signer() != SignerOf(a.Public()) {
+		t.Fatal("Signer() != SignerOf(Public())")
+	}
+	if a.Signer().IsZero() {
+		t.Fatal("zero MRSIGNER")
+	}
+}
+
+func TestDeriveKeySeparation(t *testing.T) {
+	secret := []byte("platform-secret")
+	var mr1, mr2 Digest
+	mr1[0], mr2[0] = 1, 2
+	k1 := DeriveKey(secret, KeyReport, mr1, Digest{}, nil)
+	k2 := DeriveKey(secret, KeyReport, mr2, Digest{}, nil)
+	k3 := DeriveKey(secret, KeySeal, mr1, Digest{}, nil)
+	k4 := DeriveKey([]byte("other-platform"), KeyReport, mr1, Digest{}, nil)
+	k5 := DeriveKey(secret, KeyReport, mr1, Digest{}, []byte("extra"))
+	if k1 == k2 || k1 == k3 || k1 == k4 || k1 == k5 {
+		t.Fatal("key derivation does not separate domains")
+	}
+	if k1 != DeriveKey(secret, KeyReport, mr1, Digest{}, nil) {
+		t.Fatal("key derivation not deterministic")
+	}
+}
+
+// Property: any two different EEXTEND contents give different measurements.
+func TestContentCollisionResistance(t *testing.T) {
+	f := func(a, b [isa.ExtendChunk]byte) bool {
+		mk := func(c [isa.ExtendChunk]byte) Digest {
+			bl := NewBuilder()
+			bl.ECreate(4096, 0)
+			bl.EAdd(0, isa.PTReg, isa.PermR)
+			bl.EExtend(0, c[:])
+			return bl.Finalize()
+		}
+		if a == b {
+			return mk(a) == mk(b)
+		}
+		return mk(a) != mk(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

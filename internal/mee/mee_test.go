@@ -1,0 +1,175 @@
+package mee
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"nestedenclave/internal/isa"
+	"nestedenclave/internal/phys"
+	"nestedenclave/internal/trace"
+)
+
+func layout() phys.Layout {
+	return phys.Layout{DRAMSize: 8 << 20, PRMBase: 2 << 20, PRMSize: 4 << 20}
+}
+
+func newEngine() (*Engine, *phys.Memory, *trace.Recorder) {
+	mem := phys.MustNew(layout())
+	rec := &trace.Recorder{}
+	return New(mem, rec), mem, rec
+}
+
+func line(fill byte) []byte { return bytes.Repeat([]byte{fill}, isa.LineSize) }
+
+func TestPRMRoundTrip(t *testing.T) {
+	e, _, _ := newEngine()
+	p := layout().PRMBase
+	if err := e.WriteLine(p, line(0x42)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.ReadLine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, line(0x42)) {
+		t.Fatalf("round trip lost data: %v", got[:8])
+	}
+}
+
+func TestPRMIsCiphertextInDRAM(t *testing.T) {
+	e, mem, _ := newEngine()
+	p := layout().PRMBase
+	pt := line(0x42)
+	if err := e.WriteLine(p, pt); err != nil {
+		t.Fatal(err)
+	}
+	raw := mem.Read(p, isa.LineSize)
+	if bytes.Equal(raw, pt) {
+		t.Fatal("PRM line stored as plaintext")
+	}
+}
+
+func TestNonPRMPassesThrough(t *testing.T) {
+	e, mem, rec := newEngine()
+	p := isa.PAddr(0x1000)
+	if err := e.WriteLine(p, line(0x17)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mem.Read(p, isa.LineSize), line(0x17)) {
+		t.Fatal("non-PRM line not stored raw")
+	}
+	if rec.Get(trace.EvMEEEncrypt) != 0 {
+		t.Fatal("non-PRM write charged an MEE encryption")
+	}
+}
+
+func TestTamperDetection(t *testing.T) {
+	e, mem, rec := newEngine()
+	p := layout().PRMBase + 4096
+	if err := e.WriteLine(p, line(0x99)); err != nil {
+		t.Fatal(err)
+	}
+	mem.TamperByte(p+5, 0x01) // physical attacker flips a bit
+	_, err := e.ReadLine(p)
+	if err == nil {
+		t.Fatal("tampered line read succeeded")
+	}
+	if !isa.IsFault(err, isa.FaultMC) {
+		t.Fatalf("tamper raised %v, want #MC", err)
+	}
+	if rec.Get(trace.EvFaultMC) != 1 {
+		t.Fatal("machine check not counted")
+	}
+}
+
+func TestFreshLineReadsZero(t *testing.T) {
+	e, _, _ := newEngine()
+	got, err := e.ReadLine(layout().PRMBase + 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, isa.LineSize)) {
+		t.Fatalf("fresh PRM line = %v", got[:8])
+	}
+}
+
+func TestVersioningPreventsCiphertextReplay(t *testing.T) {
+	e, mem, _ := newEngine()
+	p := layout().PRMBase
+	if err := e.WriteLine(p, line(0x01)); err != nil {
+		t.Fatal(err)
+	}
+	old := mem.Read(p, isa.LineSize) // attacker snapshots ciphertext v1
+	if err := e.WriteLine(p, line(0x02)); err != nil {
+		t.Fatal(err)
+	}
+	mem.Write(p, old) // attacker replays the stale ciphertext
+	if _, err := e.ReadLine(p); err == nil {
+		t.Fatal("replayed stale ciphertext accepted")
+	}
+}
+
+func TestDisabledEngineStoresPlaintext(t *testing.T) {
+	e, mem, _ := newEngine()
+	e.Enabled = false
+	p := layout().PRMBase
+	if err := e.WriteLine(p, line(0x33)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mem.Read(p, isa.LineSize), line(0x33)) {
+		t.Fatal("disabled engine still encrypted")
+	}
+}
+
+func TestDropPageForgetsMetadata(t *testing.T) {
+	e, mem, _ := newEngine()
+	p := layout().PRMBase
+	if err := e.WriteLine(p, line(0x55)); err != nil {
+		t.Fatal(err)
+	}
+	// Page recycled: DRAM zeroed, metadata dropped; the next read must not
+	// fail integrity, it must see a fresh zero line.
+	mem.Zero(p, isa.PageSize)
+	e.DropPage(p)
+	got, err := e.ReadLine(p)
+	if err != nil {
+		t.Fatalf("recycled page read: %v", err)
+	}
+	if !bytes.Equal(got, make([]byte, isa.LineSize)) {
+		t.Fatalf("recycled page not zero: %v", got[:8])
+	}
+}
+
+func TestUnalignedRejected(t *testing.T) {
+	e, _, _ := newEngine()
+	if err := e.WriteLine(layout().PRMBase+1, line(0)); err == nil {
+		t.Fatal("unaligned write accepted")
+	}
+	if _, err := e.ReadLine(layout().PRMBase + 7); err == nil {
+		t.Fatal("unaligned read accepted")
+	}
+	if err := e.WriteLine(layout().PRMBase, []byte{1, 2}); err == nil {
+		t.Fatal("short write accepted")
+	}
+}
+
+// Property: for arbitrary line contents and PRM line indices, write-read is
+// the identity, and the ciphertext never equals the plaintext.
+func TestRoundTripProperty(t *testing.T) {
+	e, mem, _ := newEngine()
+	f := func(content [isa.LineSize]byte, idx uint16) bool {
+		p := layout().PRMBase + isa.PAddr(idx)*isa.LineSize
+		if err := e.WriteLine(p, content[:]); err != nil {
+			return false
+		}
+		got, err := e.ReadLine(p)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, content[:]) && !bytes.Equal(mem.Read(p, isa.LineSize), content[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

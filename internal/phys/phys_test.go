@@ -1,0 +1,112 @@
+package phys
+
+import (
+	"bytes"
+	"testing"
+
+	"nestedenclave/internal/isa"
+)
+
+func small() Layout {
+	return Layout{DRAMSize: 8 << 20, PRMBase: 2 << 20, PRMSize: 4 << 20}
+}
+
+func TestLayoutValidate(t *testing.T) {
+	if err := small().Validate(); err != nil {
+		t.Fatalf("valid layout rejected: %v", err)
+	}
+	bad := []Layout{
+		{DRAMSize: 0, PRMBase: 0, PRMSize: isa.PageSize},
+		{DRAMSize: 1 << 20, PRMBase: 100, PRMSize: isa.PageSize},
+		{DRAMSize: 1 << 20, PRMBase: 0, PRMSize: 100},
+		{DRAMSize: 1 << 20, PRMBase: 0, PRMSize: 2 << 20},
+		{DRAMSize: 1<<20 + 1, PRMBase: 0, PRMSize: isa.PageSize},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("bad layout %d accepted", i)
+		}
+	}
+}
+
+func TestReadWrite(t *testing.T) {
+	m := MustNew(small())
+	data := []byte("hello physical world")
+	m.Write(0x1000, data)
+	if got := m.Read(0x1000, len(data)); !bytes.Equal(got, data) {
+		t.Errorf("read back %q", got)
+	}
+	dst := make([]byte, len(data))
+	m.ReadInto(0x1000, dst)
+	if !bytes.Equal(dst, data) {
+		t.Errorf("ReadInto %q", dst)
+	}
+	m.Zero(0x1000, 5)
+	if got := m.Read(0x1000, 5); !bytes.Equal(got, make([]byte, 5)) {
+		t.Errorf("Zero left %v", got)
+	}
+}
+
+func TestInPRM(t *testing.T) {
+	m := MustNew(small())
+	l := small()
+	if m.InPRM(l.PRMBase - 1) {
+		t.Error("byte before PRM reported inside")
+	}
+	if !m.InPRM(l.PRMBase) {
+		t.Error("PRM base reported outside")
+	}
+	last := isa.PAddr(uint64(l.PRMBase) + l.PRMSize - 1)
+	if !m.InPRM(last) {
+		t.Error("last PRM byte reported outside")
+	}
+	if m.InPRM(last + 1) {
+		t.Error("byte after PRM reported inside")
+	}
+	if !m.PageInPRM(l.PRMBase + 123) {
+		t.Error("PageInPRM for interior offset")
+	}
+}
+
+func TestContains(t *testing.T) {
+	m := MustNew(small())
+	if !m.Contains(0, int(m.Size())) {
+		t.Error("full range not contained")
+	}
+	if m.Contains(isa.PAddr(m.Size()-1), 2) {
+		t.Error("overflow range contained")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := MustNew(small())
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range access did not panic")
+		}
+	}()
+	m.Read(isa.PAddr(m.Size()), 1)
+}
+
+func TestTamperByte(t *testing.T) {
+	m := MustNew(small())
+	m.Write(0x2000, []byte{0xAA})
+	m.TamperByte(0x2000, 0xFF)
+	if got := m.Read(0x2000, 1)[0]; got != 0x55 {
+		t.Errorf("tampered byte = %#x, want 0x55", got)
+	}
+}
+
+func TestLine(t *testing.T) {
+	m := MustNew(small())
+	m.Write(0x3000, bytes.Repeat([]byte{0xAB}, isa.LineSize))
+	line := m.Line(0x3020) // interior address, same line
+	if len(line) != isa.LineSize {
+		t.Fatalf("line length %d", len(line))
+	}
+	for _, b := range line {
+		if b != 0xAB {
+			t.Fatalf("line content %v", line[:8])
+		}
+	}
+}

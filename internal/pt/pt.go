@@ -1,0 +1,95 @@
+// Package pt models the OS-controlled page tables of a process.
+//
+// Crucially, the page table is *untrusted*: SGX's threat model lets the
+// kernel write arbitrary translations, remap enclave pages, alias two
+// virtual pages to one frame, or mark pages non-present at will. The access
+// validator (package sgx) re-checks every translation against the EPCM
+// during TLB-miss handling precisely because nothing here can be trusted.
+// The adversarial kernel in package kos manipulates these tables directly in
+// the attack reproductions.
+package pt
+
+import (
+	"nestedenclave/internal/isa"
+)
+
+// PTE is a page table entry.
+type PTE struct {
+	PPN     uint64
+	Perms   isa.Perm
+	Present bool
+}
+
+// Table is a single-level map-backed page table for one address space.
+// Not safe for concurrent use; the kernel serializes updates.
+type Table struct {
+	entries map[uint64]PTE
+}
+
+// New creates an empty page table.
+func New() *Table { return &Table{entries: make(map[uint64]PTE)} }
+
+// Map installs a translation from the virtual page containing v to the
+// physical page containing p with the given permissions.
+func (t *Table) Map(v isa.VAddr, p isa.PAddr, perms isa.Perm) {
+	t.entries[v.VPN()] = PTE{PPN: p.PPN(), Perms: perms, Present: true}
+}
+
+// Unmap removes the translation for the virtual page containing v.
+func (t *Table) Unmap(v isa.VAddr) { delete(t.entries, v.VPN()) }
+
+// MarkNotPresent keeps the entry but clears its present bit (the state the
+// kernel sets while an EPC page is evicted).
+func (t *Table) MarkNotPresent(v isa.VAddr) {
+	if e, ok := t.entries[v.VPN()]; ok {
+		e.Present = false
+		t.entries[v.VPN()] = e
+	}
+}
+
+// Protect changes the permissions of an existing mapping.
+func (t *Table) Protect(v isa.VAddr, perms isa.Perm) {
+	if e, ok := t.entries[v.VPN()]; ok {
+		e.Perms = perms
+		t.entries[v.VPN()] = e
+	}
+}
+
+// Walk performs the page-table walk for v. ok is false when no entry exists;
+// a present=false entry is returned with ok true so the fault handler can
+// distinguish "never mapped" from "paged out".
+func (t *Table) Walk(v isa.VAddr) (PTE, bool) {
+	e, ok := t.entries[v.VPN()]
+	return e, ok
+}
+
+// Lookup returns the present translation for v, if any.
+func (t *Table) Lookup(v isa.VAddr) (PTE, bool) {
+	e, ok := t.entries[v.VPN()]
+	if !ok || !e.Present {
+		return PTE{}, false
+	}
+	return e, true
+}
+
+// Translate resolves a full virtual address to a physical address using the
+// present mapping, preserving the page offset.
+func (t *Table) Translate(v isa.VAddr) (isa.PAddr, bool) {
+	e, ok := t.Lookup(v)
+	if !ok {
+		return 0, false
+	}
+	return isa.PAddr(e.PPN<<isa.PageShift | v.Offset()), true
+}
+
+// Len returns the number of entries (present or not).
+func (t *Table) Len() int { return len(t.entries) }
+
+// VPNs returns all mapped virtual page numbers (for audits).
+func (t *Table) VPNs() []uint64 {
+	out := make([]uint64, 0, len(t.entries))
+	for vpn := range t.entries {
+		out = append(out, vpn)
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package pt
+
+import (
+	"testing"
+
+	"nestedenclave/internal/isa"
+)
+
+func TestMapWalkTranslate(t *testing.T) {
+	tab := New()
+	tab.Map(0x1000, 0x5000, isa.PermRW)
+	e, ok := tab.Walk(0x1234)
+	if !ok || !e.Present || e.PPN != 5 || e.Perms != isa.PermRW {
+		t.Fatalf("walk: %+v ok=%v", e, ok)
+	}
+	pa, ok := tab.Translate(0x1234)
+	if !ok || pa != 0x5234 {
+		t.Fatalf("translate = %#x ok=%v", uint64(pa), ok)
+	}
+	if _, ok := tab.Walk(0x9000); ok {
+		t.Fatal("unmapped address walked")
+	}
+}
+
+func TestUnmapAndNotPresent(t *testing.T) {
+	tab := New()
+	tab.Map(0x1000, 0x5000, isa.PermR)
+	tab.Unmap(0x1000)
+	if _, ok := tab.Walk(0x1000); ok {
+		t.Fatal("unmapped entry still present")
+	}
+	tab.Map(0x2000, 0x6000, isa.PermR)
+	tab.MarkNotPresent(0x2000)
+	e, ok := tab.Walk(0x2000)
+	if !ok || e.Present {
+		t.Fatalf("not-present: %+v ok=%v (want entry with Present=false)", e, ok)
+	}
+	if _, ok := tab.Lookup(0x2000); ok {
+		t.Fatal("Lookup returned a not-present entry")
+	}
+	if _, ok := tab.Translate(0x2000); ok {
+		t.Fatal("Translate used a not-present entry")
+	}
+	// MarkNotPresent on a missing entry is a no-op.
+	tab.MarkNotPresent(0xdead000)
+}
+
+func TestProtect(t *testing.T) {
+	tab := New()
+	tab.Map(0x1000, 0x5000, isa.PermRWX)
+	tab.Protect(0x1000, isa.PermR)
+	e, _ := tab.Walk(0x1000)
+	if e.Perms != isa.PermR {
+		t.Fatalf("perms after protect: %v", e.Perms)
+	}
+	tab.Protect(0xffff000, isa.PermR) // no-op on missing entry
+}
+
+func TestLenAndVPNs(t *testing.T) {
+	tab := New()
+	tab.Map(0x1000, 0x5000, isa.PermR)
+	tab.Map(0x2000, 0x6000, isa.PermR)
+	if tab.Len() != 2 {
+		t.Fatalf("len = %d", tab.Len())
+	}
+	vpns := tab.VPNs()
+	if len(vpns) != 2 {
+		t.Fatalf("VPNs = %v", vpns)
+	}
+}
+
+// TestKernelRemap documents the untrusted nature: the kernel can silently
+// redirect a virtual page to a different frame; the page table obliges.
+func TestKernelRemap(t *testing.T) {
+	tab := New()
+	tab.Map(0x1000, 0x5000, isa.PermRW)
+	tab.Map(0x1000, 0x7000, isa.PermRW)
+	pa, _ := tab.Translate(0x1000)
+	if pa != 0x7000 {
+		t.Fatalf("remap not applied: %#x", uint64(pa))
+	}
+}

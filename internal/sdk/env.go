@@ -1,0 +1,251 @@
+package sdk
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"fmt"
+
+	"nestedenclave/internal/isa"
+	"nestedenclave/internal/measure"
+	"nestedenclave/internal/sgx"
+	"nestedenclave/internal/trace"
+)
+
+// Env is the trusted runtime (tRTS) execution environment handed to enclave
+// code: memory access through the hardware-validated path, the trusted heap,
+// and the four transition interfaces (ocall, and for nested enclaves
+// n_ecall/n_ocall; the initial ecall created this Env).
+type Env struct {
+	// E is the enclave this code runs in.
+	E *Enclave
+	// C is the executing core.
+	C *sgx.Core
+
+	tcsV isa.VAddr
+}
+
+// --- Memory ---
+
+// Read reads n bytes of (virtual) memory through the access-validated path.
+// Reads of memory this enclave may not see return 0xFF bytes (abort-page
+// semantics), exactly like the hardware.
+func (env *Env) Read(v isa.VAddr, n int) ([]byte, error) { return env.C.Read(v, n) }
+
+// Write stores b at v through the access-validated path. Writes to memory
+// this enclave may not touch are silently dropped.
+func (env *Env) Write(v isa.VAddr, b []byte) error { return env.C.Write(v, b) }
+
+// Malloc allocates n bytes on the enclave's trusted heap.
+func (env *Env) Malloc(n int) (isa.VAddr, error) {
+	h := env.E.Heap()
+	env.E.mu.Lock()
+	defer env.E.mu.Unlock()
+	return h.Alloc(n)
+}
+
+// Free releases a heap allocation (contents are not cleared).
+func (env *Env) Free(v isa.VAddr) error {
+	h := env.E.Heap()
+	env.E.mu.Lock()
+	defer env.E.mu.Unlock()
+	return h.Free(v)
+}
+
+// --- Transitions ---
+
+// OCall leaves the enclave to run a registered untrusted host function, then
+// re-enters. The EDL must whitelist the function.
+func (env *Env) OCall(name string, args []byte) ([]byte, error) {
+	if !env.E.img.AllowedOCalls[name] {
+		return nil, fmt.Errorf("sdk: ocall %q not in enclave %s's EDL", name, env.E.img.Name)
+	}
+	fn, ok := env.E.host.ocall(name)
+	if !ok {
+		return nil, fmt.Errorf("sdk: host has no ocall handler %q", name)
+	}
+	m := env.E.host.K.Machine()
+	m.Rec.Charge(trace.EvOCall, 0)
+	// The tRTS scrubs registers and marshals arguments out before EEXIT.
+	marshalled := append([]byte(nil), args...)
+	env.C.Regs.Scrub()
+	if err := m.EExit(env.C, false); err != nil {
+		return nil, err
+	}
+	out, ferr := fn(marshalled)
+	if err := m.EEnter(env.C, env.E.secs, env.tcsV, true); err != nil {
+		return nil, err
+	}
+	if ferr != nil {
+		return nil, ferr
+	}
+	return append([]byte(nil), out...), nil
+}
+
+// NECall invokes an entry point of an associated inner enclave via NEENTER —
+// the outer→inner transition that never leaves protected mode. The target
+// function runs with the inner enclave's environment; on return NEEXIT
+// restores this enclave's context.
+func (env *Env) NECall(inner *Enclave, name string, args []byte) ([]byte, error) {
+	ext := env.E.host.Ext
+	if ext == nil {
+		return nil, fmt.Errorf("sdk: machine has no nested-enclave support")
+	}
+	fn, ok := inner.img.ECalls[name]
+	if !ok {
+		return nil, fmt.Errorf("sdk: inner enclave %s has no entry %q", inner.img.Name, name)
+	}
+	m := env.E.host.K.Machine()
+	m.Rec.Charge(trace.EvNECall, 0)
+	tcsV := inner.claimTCS()
+	defer inner.releaseTCS(tcsV)
+	marshalled := append([]byte(nil), args...)
+	if err := ext.NEENTER(env.C, inner.secs, tcsV); err != nil {
+		return nil, err
+	}
+	innerEnv := &Env{E: inner, C: env.C, tcsV: tcsV}
+	out, ferr := fn(innerEnv, marshalled)
+	if err := ext.NEEXIT(env.C); err != nil {
+		return nil, err
+	}
+	if ferr != nil {
+		return nil, ferr
+	}
+	return append([]byte(nil), out...), nil
+}
+
+// NOCall invokes a function the outer enclave exposes to its inners via
+// NEEXIT/NEENTER — the inner→outer call path with ordinary procedure-call
+// syntax ("an application in an inner enclave can call library functions
+// isolated in the outer enclave").
+func (env *Env) NOCall(name string, args []byte) ([]byte, error) {
+	ext := env.E.host.Ext
+	if ext == nil {
+		return nil, fmt.Errorf("sdk: machine has no nested-enclave support")
+	}
+	outers := env.E.Outers()
+	if len(outers) == 0 {
+		return nil, fmt.Errorf("sdk: enclave %s has no outer enclave", env.E.img.Name)
+	}
+	// Resolve the function across the associated outer enclaves (one, in
+	// the base model).
+	var outer *Enclave
+	var fn TrustedFunc
+	for _, o := range outers {
+		if f, ok := o.img.NOCalls[name]; ok {
+			outer, fn = o, f
+			break
+		}
+	}
+	if outer == nil {
+		return nil, fmt.Errorf("sdk: no outer enclave of %s exposes %q", env.E.img.Name, name)
+	}
+	m := env.E.host.K.Machine()
+	m.Rec.Charge(trace.EvNOCall, 0)
+	marshalled := append([]byte(nil), args...)
+
+	// Fast path: this inner was NEENTERed from the outer enclave, so NEEXIT
+	// restores the suspended outer context directly (scrubbing registers
+	// and flushing the TLB)...
+	if t := env.C.CurrentTCS(); t != nil && t.Ret() {
+		if err := ext.NEEXIT(env.C); err != nil {
+			return nil, err
+		}
+		outerTCS := env.C.CurrentTCS()
+		outerEnv := &Env{E: outer, C: env.C, tcsV: outerTCS.Vaddr}
+		out, ferr := fn(outerEnv, marshalled)
+		// ...then NEENTER back into this inner enclave on the same TCS.
+		if err := ext.NEENTER(env.C, env.E.secs, env.tcsV); err != nil {
+			return nil, err
+		}
+		if ferr != nil {
+			return nil, ferr
+		}
+		return append([]byte(nil), out...), nil
+	}
+
+	// Upward path: the inner was entered directly from untrusted code (the
+	// per-user service deployments), so the call transfers into the outer
+	// enclave with an upward NEENTER and returns with NEEXIT — still never
+	// leaving protected mode.
+	outerTCSV := outer.claimTCS()
+	defer outer.releaseTCS(outerTCSV)
+	if err := ext.NEENTER(env.C, outer.secs, outerTCSV); err != nil {
+		return nil, err
+	}
+	outerEnv := &Env{E: outer, C: env.C, tcsV: outerTCSV}
+	out, ferr := fn(outerEnv, marshalled)
+	if err := ext.NEEXIT(env.C); err != nil {
+		return nil, err
+	}
+	if ferr != nil {
+		return nil, ferr
+	}
+	return append([]byte(nil), out...), nil
+}
+
+// --- Attestation ---
+
+// Report produces an EREPORT targeted at the enclave measuring target.
+func (env *Env) Report(target measure.Digest, data [64]byte) (*sgx.Report, error) {
+	return env.E.host.K.Machine().EReport(env.C, target, data)
+}
+
+// VerifyReport checks a report addressed to this enclave.
+func (env *Env) VerifyReport(r *sgx.Report) error {
+	return env.E.host.K.Machine().VerifyReport(env.C, r)
+}
+
+// GetKey derives a sealing/report key for this enclave.
+func (env *Env) GetKey(name measure.KeyName, policy sgx.SealPolicy, extra []byte) ([16]byte, error) {
+	return env.E.host.K.Machine().EGetKey(env.C, name, policy, extra)
+}
+
+// Seal encrypts data under a key only this enclave (SealToEnclave) or any
+// enclave from the same author (SealToSigner) can re-derive, producing a
+// blob safe to hand to the untrusted world for persistence.
+func (env *Env) Seal(policy sgx.SealPolicy, plaintext []byte) ([]byte, error) {
+	aead, err := env.sealAEAD(policy)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	return aead.Seal(nonce, nonce, plaintext, nil), nil
+}
+
+// Unseal reverses Seal. It fails for blobs sealed by any other identity —
+// the property that makes sealed storage safe in kernel hands.
+func (env *Env) Unseal(policy sgx.SealPolicy, blob []byte) ([]byte, error) {
+	aead, err := env.sealAEAD(policy)
+	if err != nil {
+		return nil, err
+	}
+	if len(blob) < aead.NonceSize() {
+		return nil, fmt.Errorf("sdk: sealed blob too short")
+	}
+	pt, err := aead.Open(nil, blob[:aead.NonceSize()], blob[aead.NonceSize():], nil)
+	if err != nil {
+		return nil, fmt.Errorf("sdk: unseal failed (wrong enclave identity or tampered blob): %w", err)
+	}
+	return pt, nil
+}
+
+func (env *Env) sealAEAD(policy sgx.SealPolicy) (cipher.AEAD, error) {
+	key, err := env.GetKey(measure.KeySeal, policy, nil)
+	if err != nil {
+		return nil, err
+	}
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+// GrowHeap populates reserved ELRANGE pages (SGX2 EAUG) from inside the
+// enclave: the request leaves via an implicit ocall to the runtime, which
+// asks the kernel to augment the pages.
+func (env *Env) GrowHeap(n int) error { return env.E.GrowHeap(n) }

@@ -1,0 +1,134 @@
+package sdk
+
+import (
+	"fmt"
+	"sync"
+
+	"nestedenclave/internal/core"
+	"nestedenclave/internal/isa"
+	"nestedenclave/internal/kos"
+	"nestedenclave/internal/sgx"
+)
+
+// Host is the untrusted runtime (uRTS) of one application process: it loads
+// enclaves through the kernel driver, owns the ocall table, and multiplexes
+// ecalls over the machine's cores.
+type Host struct {
+	K    *kos.Kernel
+	Proc *kos.Process
+	// Ext is the nested-enclave extension handle, nil on a baseline-SGX
+	// machine. Association and n_ecall/n_ocall require it.
+	Ext *core.Extension
+
+	mu     sync.Mutex
+	ocalls map[string]HostFunc
+
+	cores chan *sgx.Core
+}
+
+// NewHost creates a host process on the kernel. ext may be nil for a
+// baseline machine.
+func NewHost(k *kos.Kernel, ext *core.Extension) *Host {
+	h := &Host{
+		K:      k,
+		Proc:   k.NewProcess(),
+		Ext:    ext,
+		ocalls: make(map[string]HostFunc),
+		cores:  make(chan *sgx.Core, len(k.Machine().Cores())),
+	}
+	for _, c := range k.Machine().Cores() {
+		h.cores <- c
+	}
+	return h
+}
+
+// RegisterOCall installs an untrusted service function.
+func (h *Host) RegisterOCall(name string, fn HostFunc) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ocalls[name] = fn
+}
+
+func (h *Host) ocall(name string) (HostFunc, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	fn, ok := h.ocalls[name]
+	return fn, ok
+}
+
+// acquireCore takes a core from the pool and installs the host's address
+// space on it if needed.
+func (h *Host) acquireCore() *sgx.Core {
+	c := <-h.cores
+	if c.PT != h.Proc.PageTable() {
+		// Context switch: new CR3, TLB flush.
+		if err := h.K.Schedule(c, h.Proc); err != nil {
+			h.cores <- c
+			panic(fmt.Sprintf("sdk: schedule: %v", err))
+		}
+	}
+	return c
+}
+
+func (h *Host) releaseCore(c *sgx.Core) { h.cores <- c }
+
+// Load builds the enclave from its signed image: ECREATE, EADD/EEXTEND per
+// page, EINIT against the certificate. The returned handle is live.
+func (h *Host) Load(si *SignedImage) (*Enclave, error) {
+	img := si.Image
+	s, err := h.K.Driver.CreateEnclave(img.Base, img.Size(), 0)
+	if err != nil {
+		return nil, fmt.Errorf("sdk: load %s: %w", img.Name, err)
+	}
+	for _, st := range img.buildSteps() {
+		args := sgx.AddPageArgs{
+			Vaddr:   st.vaddr,
+			Type:    st.typ,
+			Perms:   st.perms,
+			Content: st.content,
+			Entry:   st.entry,
+			Measure: st.measure,
+		}
+		if err := h.K.Driver.AddPage(h.Proc, s, args); err != nil {
+			_ = h.K.Driver.DestroyEnclave(h.Proc, s)
+			return nil, fmt.Errorf("sdk: load %s: %w", img.Name, err)
+		}
+	}
+	if err := h.K.Driver.InitEnclave(s, si.Cert); err != nil {
+		_ = h.K.Driver.DestroyEnclave(h.Proc, s)
+		return nil, fmt.Errorf("sdk: load %s: %w", img.Name, err)
+	}
+	e := &Enclave{
+		host:    h,
+		img:     img,
+		secs:    s,
+		tcsFree: make(chan isa.VAddr, img.L.NumTCS),
+	}
+	for i := 0; i < img.L.NumTCS; i++ {
+		e.tcsFree <- img.tcsBase() + isa.VAddr(i)*isa.PageSize
+	}
+	return e, nil
+}
+
+// Associate binds inner to outer with NASSO (kernel privilege) and links the
+// SDK handles so n_ecall/n_ocall can route.
+func (h *Host) Associate(inner, outer *Enclave) error {
+	if h.Ext == nil {
+		return fmt.Errorf("sdk: machine has no nested-enclave support")
+	}
+	if err := h.Ext.NASSO(inner.secs, outer.secs); err != nil {
+		return err
+	}
+	inner.mu.Lock()
+	inner.outers = append(inner.outers, outer)
+	inner.mu.Unlock()
+	outer.mu.Lock()
+	outer.inners = append(outer.inners, inner)
+	outer.mu.Unlock()
+	return nil
+}
+
+// Destroy tears the enclave down.
+func (h *Host) Destroy(e *Enclave) error {
+	return h.K.Driver.DestroyEnclave(h.Proc, e.secs)
+}

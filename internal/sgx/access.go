@@ -1,0 +1,186 @@
+package sgx
+
+import (
+	"nestedenclave/internal/isa"
+	"nestedenclave/internal/trace"
+)
+
+// This file implements the core's data-access path: TLB lookup, TLB-miss
+// handling (page walk + access validation), and the physical access through
+// the cache/MEE hierarchy.
+
+const maxFaultRetries = 4
+
+// translateLocked resolves v for the given access kind. It returns either a
+// physical address, abort=true (abort-page semantics), or a fault.
+// Caller holds m.mu.
+func (c *Core) translateLocked(v isa.VAddr, op isa.Access) (pa isa.PAddr, abort bool, err error) {
+	if e, ok := c.TLB.Lookup(v); ok && e.Perms.Allows(op) {
+		return isa.PAddr(e.PPN<<isa.PageShift | v.Offset()), false, nil
+	}
+	// TLB miss: walk the (untrusted) page table, then validate.
+	c.m.Rec.Charge(trace.EvPageWalk, trace.CostPageWalk)
+	if c.PT == nil {
+		return 0, false, isa.PF(v, op, "no address space installed")
+	}
+	pte, ok := c.PT.Walk(v)
+	if !ok {
+		return 0, false, isa.PF(v, op, "unmapped")
+	}
+	if !pte.Present {
+		return 0, false, isa.PF(v, op, "not present")
+	}
+	entry, outcome := c.m.Validator.Validate(c, v, pte, op)
+	if outcome != nil {
+		if outcome.Abort {
+			return 0, true, nil
+		}
+		switch outcome.Fault.Class {
+		case isa.FaultGP:
+			c.m.Rec.Inc(trace.EvFaultGP)
+		case isa.FaultPF:
+			c.m.Rec.Inc(trace.EvFaultPF)
+		}
+		return 0, false, outcome.Fault
+	}
+	c.TLB.Insert(entry)
+	return isa.PAddr(entry.PPN<<isa.PageShift | v.Offset()), false, nil
+}
+
+// chunkEnd returns the end of the page-bounded chunk starting at v covering
+// at most n bytes.
+func chunkLen(v isa.VAddr, n int) int {
+	inPage := isa.PageSize - int(v.Offset())
+	if n < inPage {
+		return n
+	}
+	return inPage
+}
+
+// handleFault gives the kernel's page-fault handler a chance to repair the
+// mapping (e.g. reload an evicted EPC page) and retry. A fault taken in
+// enclave mode costs an AEX + ERESUME round trip, which is charged here.
+func (c *Core) handleFault(err error) bool {
+	f, ok := err.(*isa.Fault)
+	if !ok || f.Class != isa.FaultPF || c.PFHandler == nil {
+		return false
+	}
+	if c.inEnclave {
+		c.m.Rec.Charge(trace.EvAEX, trace.CostAEX)
+	}
+	return c.PFHandler(c, f)
+}
+
+// ReadInto reads len(dst) bytes at virtual address v into dst through the
+// full translation + protection path. Aborted regions read as 0xFF.
+func (c *Core) ReadInto(v isa.VAddr, dst []byte) error {
+	for off := 0; off < len(dst); {
+		cur := v + isa.VAddr(off)
+		n := chunkLen(cur, len(dst)-off)
+		for attempt := 0; ; attempt++ {
+			c.m.mu.Lock()
+			pa, abort, err := c.translateLocked(cur, isa.Read)
+			if err == nil {
+				if abort {
+					c.m.mu.Unlock()
+					for i := 0; i < n; i++ {
+						dst[off+i] = 0xFF
+					}
+					break
+				}
+				err = c.m.LLC.ReadInto(pa, dst[off:off+n])
+				c.m.mu.Unlock()
+				if err != nil {
+					return err // MEE integrity machine check
+				}
+				break
+			}
+			c.m.mu.Unlock()
+			if attempt < maxFaultRetries && c.handleFault(err) {
+				continue
+			}
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// Read returns n bytes at virtual address v.
+func (c *Core) Read(v isa.VAddr, n int) ([]byte, error) {
+	out := make([]byte, n)
+	if err := c.ReadInto(v, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Write stores b at virtual address v through the full protection path.
+// Writes to aborted regions are silently dropped.
+func (c *Core) Write(v isa.VAddr, b []byte) error {
+	for off := 0; off < len(b); {
+		cur := v + isa.VAddr(off)
+		n := chunkLen(cur, len(b)-off)
+		for attempt := 0; ; attempt++ {
+			c.m.mu.Lock()
+			pa, abort, err := c.translateLocked(cur, isa.Write)
+			if err == nil {
+				if !abort {
+					err = c.m.LLC.Write(pa, b[off:off+n])
+				}
+				c.m.mu.Unlock()
+				if err != nil {
+					return err
+				}
+				break
+			}
+			c.m.mu.Unlock()
+			if attempt < maxFaultRetries && c.handleFault(err) {
+				continue
+			}
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// Fetch models an instruction fetch at v: a 16-byte read requiring execute
+// permission. Enclave entry points and the NX-on-unsecure-memory rule are
+// exercised through it.
+func (c *Core) Fetch(v isa.VAddr) error {
+	for attempt := 0; ; attempt++ {
+		c.m.mu.Lock()
+		_, abort, err := c.translateLocked(v, isa.Execute)
+		c.m.mu.Unlock()
+		if err == nil {
+			if abort {
+				return isa.PF(v, isa.Execute, "fetch from abort page")
+			}
+			return nil
+		}
+		if attempt < maxFaultRetries && c.handleFault(err) {
+			continue
+		}
+		return err
+	}
+}
+
+// ReadU64 reads a little-endian uint64 at v.
+func (c *Core) ReadU64(v isa.VAddr) (uint64, error) {
+	var b [8]byte
+	if err := c.ReadInto(v, b[:]); err != nil {
+		return 0, err
+	}
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56, nil
+}
+
+// WriteU64 stores a little-endian uint64 at v.
+func (c *Core) WriteU64(v isa.VAddr, x uint64) error {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(x >> (8 * i))
+	}
+	return c.Write(v, b[:])
+}

@@ -1,0 +1,139 @@
+package sgx_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"nestedenclave/internal/isa"
+	"nestedenclave/internal/sgx"
+)
+
+// Property test of the BASELINE validator (Costan & Devadas' invariants
+// 1–3, paper §VII-A) under random accesses, transitions and kernel
+// page-table attacks. The nested variant (including invariant 4) lives in
+// internal/core/invariants_test.go; this one pins the unmodified SGX
+// behaviour that nested enclave claims to leave intact.
+
+func auditBaseline(m *sgx.Machine) error {
+	for _, c := range m.Cores() {
+		cur := c.Current()
+		for _, e := range c.TLB.Entries() {
+			pa := isa.PAddr(e.PPN << isa.PageShift)
+			v := isa.VAddr(e.VPN << isa.PageShift)
+			inPRM := m.DRAM.PageInPRM(pa)
+			if cur == nil {
+				if inPRM {
+					return fmt.Errorf("inv1: core %d maps %#x -> PRM outside enclave mode", c.ID, uint64(v))
+				}
+				continue
+			}
+			if !cur.ContainsVPN(e.VPN) {
+				if inPRM {
+					return fmt.Errorf("inv2: out-of-ELRANGE %#x maps to PRM", uint64(v))
+				}
+				continue
+			}
+			if !inPRM {
+				return fmt.Errorf("inv3: ELRANGE %#x maps outside PRM", uint64(v))
+			}
+			ent, ok := m.EPC.EntryAt(pa)
+			if !ok || !ent.Valid || ent.Owner != cur.EID || ent.Vaddr != v {
+				return fmt.Errorf("inv3: %#x maps through foreign/mismatched EPCM entry", uint64(v))
+			}
+		}
+	}
+	return nil
+}
+
+func TestBaselineInvariantsUnderRandomOperations(t *testing.T) {
+	r := newRig(t) // baseline validator: core.Enable never called
+	e1, t1 := buildEnclave(t, r.k, r.p, 0x100000, 3)
+	e2, _ := buildEnclave(t, r.k, r.p, 0x200000, 2)
+	unsec, err := r.p.Mmap(2*isa.PageSize, isa.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := r.c
+
+	pool := []isa.VAddr{
+		0x100000, 0x101000, 0x102800, // e1
+		0x200000, 0x201000, // e2
+		unsec, unsec + isa.PageSize,
+		0x666000, // unmapped
+	}
+	var frames []isa.PAddr
+	for _, eid := range []isa.EID{e1.EID, e2.EID} {
+		for _, p := range r.m.EPC.PagesOf(eid)[:2] {
+			frames = append(frames, r.m.EPC.AddrOf(p))
+		}
+	}
+	if pa, ok := r.p.PageTable().Translate(unsec); ok {
+		frames = append(frames, pa)
+	}
+
+	inEnclave := false
+	type step struct {
+		Kind  uint8
+		Addr  uint8
+		Frame uint8
+		Write bool
+	}
+	f := func(steps []step) bool {
+		for _, st := range steps {
+			switch st.Kind % 4 {
+			case 0:
+				v := pool[int(st.Addr)%len(pool)]
+				if st.Write {
+					_ = c.Write(v, []byte{1, 2, 3})
+				} else {
+					_, _ = c.Read(v, 16)
+				}
+			case 1:
+				if !inEnclave {
+					if err := r.m.EEnter(c, e1, t1, false); err == nil {
+						inEnclave = true
+					}
+				}
+			case 2:
+				if inEnclave {
+					if err := r.m.EExit(c, true); err == nil {
+						inEnclave = false
+					}
+				}
+			case 3:
+				v := pool[int(st.Addr)%len(pool)]
+				pa := frames[int(st.Frame)%len(frames)]
+				r.p.MapFixed(v.PageBase(), pa.PageBase(), isa.PermRW)
+			}
+			if err := auditBaseline(r.m); err != nil {
+				t.Logf("violation after %+v: %v", st, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReleaseExitWithPendingFrameRejected pins the #GP on EEXIT(release)
+// from a nested context — the machine-level contract core.NEEXIT relies on.
+func TestTransitionEdgeCases(t *testing.T) {
+	r := newRig(t)
+	s, tcsV := buildEnclave(t, r.k, r.p, 0x100000, 1)
+	r.enter(t, s, tcsV)
+	// Resume-exit (ocall) then a *fresh* EENTER on the same TCS by the same
+	// thread must be rejected — resumption is the only way back.
+	if err := r.m.EExit(r.c, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.m.EEnter(r.c, s, tcsV, false); err == nil {
+		t.Fatal("fresh EENTER into ocall-suspended TCS accepted")
+	}
+	if err := r.m.EEnter(r.c, s, tcsV, true); err != nil {
+		t.Fatal(err)
+	}
+	r.exit(t)
+}

@@ -1,0 +1,254 @@
+// Package sgx implements the baseline SGX machine simulator: the enclave
+// lifecycle instructions (ECREATE/EADD/EEXTEND/EINIT/EREMOVE), enclave
+// entry/exit (EENTER/EEXIT/AEX/ERESUME), local attestation (EREPORT/EGETKEY),
+// EPC paging (EBLOCK/ETRACK/EWB/ELDU), and — at the heart of everything —
+// the TLB-miss access validator.
+//
+// Two extension points let package core add the paper's nested-enclave
+// support without forking the baseline, mirroring how the proposal itself is
+// "mostly limited to the access control mechanism" (paper §I):
+//
+//   - Machine.Validator: the access-validation flow consulted on TLB misses.
+//     The baseline validator implements SGX's Figure-2 checks; package core
+//     installs the Figure-6 flow with the inner→outer branches.
+//   - Machine.Tracker: the ETRACK thread-tracking policy that decides which
+//     cores need TLB shootdowns when an EPC mapping changes. Package core
+//     installs the inner-enclave-aware tracker of §IV-E.
+package sgx
+
+import (
+	"crypto/rand"
+	"fmt"
+	"sync"
+
+	"nestedenclave/internal/cache"
+	"nestedenclave/internal/epc"
+	"nestedenclave/internal/isa"
+	"nestedenclave/internal/mee"
+	"nestedenclave/internal/phys"
+	"nestedenclave/internal/pt"
+	"nestedenclave/internal/tlb"
+	"nestedenclave/internal/trace"
+)
+
+// Validator is the access-validation flow run during TLB-miss handling.
+// Implementations receive the faulting core, the requested virtual address,
+// the (untrusted) page-table entry, and the access kind, and either return
+// the TLB entry to insert or reject the access.
+type Validator interface {
+	Validate(c *Core, v isa.VAddr, pte pt.PTE, op isa.Access) (tlb.Entry, *Outcome)
+}
+
+// Outcome describes a rejected translation.
+type Outcome struct {
+	// Abort means the access gets abort-page semantics: reads return all
+	// ones, writes are dropped, execution faults. This is how SGX handles
+	// unauthorized accesses to protected memory.
+	Abort bool
+	// Fault, when non-nil, is delivered instead (page faults for evicted
+	// pages, permission violations, non-present mappings).
+	Fault *isa.Fault
+}
+
+// Tracker decides which cores must receive a TLB-shootdown IPI when the
+// virtual-to-physical mapping of an EPC page owned by enclave eid changes.
+type Tracker interface {
+	CoresToShootdown(m *Machine, eid isa.EID) []*Core
+}
+
+// Config sizes a machine.
+type Config struct {
+	Cores int
+	Phys  phys.Layout
+	LLC   cache.Config
+	// DisableLLC models an uncached machine (ablation).
+	DisableLLC bool
+	// DisableMEE models plaintext PRM (ablation / attack contrast).
+	DisableMEE bool
+}
+
+// DefaultConfig models the paper's 4-core i7-7700 testbed.
+func DefaultConfig() Config {
+	return Config{Cores: 4, Phys: phys.DefaultLayout(), LLC: cache.DefaultConfig()}
+}
+
+// SmallConfig is a reduced machine (64 MiB DRAM, 32 MiB PRM, 1 MiB LLC) for
+// tests that do not depend on the full-size memory system.
+func SmallConfig() Config {
+	return Config{
+		Cores: 4,
+		Phys:  phys.Layout{DRAMSize: 64 << 20, PRMBase: 16 << 20, PRMSize: 32 << 20},
+		LLC:   cache.Config{SizeBytes: 1 << 20, Ways: 16},
+	}
+}
+
+// Machine is the simulated SGX-enabled processor package plus DRAM.
+type Machine struct {
+	// mu serializes the shared memory system and machine-global state.
+	// Per-core state (TLB, registers, enclave stack) is owned by the one
+	// goroutine driving that core.
+	mu sync.Mutex
+
+	DRAM *phys.Memory
+	MEE  *mee.Engine
+	LLC  *cache.Cache
+	EPC  *epc.Manager
+	Rec  *trace.Recorder
+
+	Validator Validator
+	Tracker   Tracker
+
+	cores     []*Core
+	secsByEID map[isa.EID]*SECS
+	nextEID   isa.EID
+
+	platformSecret []byte
+
+	// Version-array state for EPC paging freshness (see paging.go).
+	vaSlots    map[uint64]bool
+	vaSlotNext uint64
+}
+
+// New builds a machine with the baseline SGX validator and tracker.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("sgx: need at least one core")
+	}
+	rec := &trace.Recorder{}
+	dram, err := phys.New(cfg.Phys)
+	if err != nil {
+		return nil, err
+	}
+	eng := mee.New(dram, rec)
+	eng.Enabled = !cfg.DisableMEE
+	llc, err := cache.New(cfg.LLC, eng, rec)
+	if err != nil {
+		return nil, err
+	}
+	llc.Enabled = !cfg.DisableLLC
+	secret := make([]byte, 32)
+	if _, err := rand.Read(secret); err != nil {
+		return nil, fmt.Errorf("sgx: platform secret: %v", err)
+	}
+	m := &Machine{
+		DRAM:           dram,
+		MEE:            eng,
+		LLC:            llc,
+		EPC:            epc.NewManager(dram),
+		Rec:            rec,
+		secsByEID:      make(map[isa.EID]*SECS),
+		nextEID:        1,
+		platformSecret: secret,
+	}
+	m.Validator = BaselineValidator{}
+	m.Tracker = BaselineTracker{}
+	for i := 0; i < cfg.Cores; i++ {
+		m.cores = append(m.cores, &Core{m: m, ID: i, TLB: tlb.New(rec)})
+	}
+	return m, nil
+}
+
+// MustNew is New for known-good configs.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Cores returns the machine's cores.
+func (m *Machine) Cores() []*Core { return m.cores }
+
+// Core returns core i.
+func (m *Machine) Core(i int) *Core { return m.cores[i] }
+
+// Enclave looks up a live enclave by identity.
+func (m *Machine) Enclave(eid isa.EID) (*SECS, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.secsByEID[eid]
+	return s, ok
+}
+
+// ResolveEID looks up an enclave without taking the machine lock. It exists
+// for Validator and Tracker implementations, which always run with the lock
+// already held; other callers must use Enclave.
+func (m *Machine) ResolveEID(eid isa.EID) (*SECS, bool) {
+	s, ok := m.secsByEID[eid]
+	return s, ok
+}
+
+// Enclaves returns all live enclaves (for audits and footprint accounting).
+func (m *Machine) Enclaves() []*SECS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*SECS, 0, len(m.secsByEID))
+	for _, s := range m.secsByEID {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Core is one logical processor.
+type Core struct {
+	m  *Machine
+	ID int
+
+	// TLB is the core's translation cache.
+	TLB *tlb.TLB
+	// PT is the currently active address space, installed by the kernel
+	// scheduler (CR3). Untrusted.
+	PT *pt.Table
+
+	// Regs is the architectural register file visible to the running code.
+	Regs Registers
+
+	// inEnclave / cur / curTCS describe the current protection context.
+	// Suspended outer frames of nested entries live in the TCS chain
+	// (TCS.ret), not on the core, so they survive ocall round trips.
+	inEnclave bool
+	cur       *SECS
+	curTCS    *TCS
+
+	// PFHandler, when set, is invoked for page faults raised by memory
+	// accesses (the kernel's fault handler: it can reload evicted EPC pages
+	// and retry). Installed by package kos.
+	PFHandler func(c *Core, f *isa.Fault) bool
+}
+
+// Machine returns the owning machine.
+func (c *Core) Machine() *Machine { return c.m }
+
+// InEnclave reports whether the core executes in enclave mode.
+func (c *Core) InEnclave() bool { return c.inEnclave }
+
+// Current returns the SECS of the enclave the core is executing, if any.
+func (c *Core) Current() *SECS {
+	if !c.inEnclave {
+		return nil
+	}
+	return c.cur
+}
+
+// CurrentTCS returns the active TCS, if any.
+func (c *Core) CurrentTCS() *TCS { return c.curTCS }
+
+// NestingDepth returns how many enclave frames are active on the core
+// (1 inside a top-level enclave, 2 inside an inner enclave, ...).
+func (c *Core) NestingDepth() int {
+	if !c.inEnclave {
+		return 0
+	}
+	return 1 + len(c.curTCS.retChainEIDs())
+}
+
+// ExecutingEIDs returns the EIDs of every enclave with live context on the
+// core: the current enclave and all suspended outer frames. Used by the
+// ETRACK thread-tracking policies.
+func (c *Core) ExecutingEIDs() []isa.EID {
+	if !c.inEnclave || c.cur == nil {
+		return nil
+	}
+	return append([]isa.EID{c.cur.EID}, c.curTCS.retChainEIDs()...)
+}

@@ -1,0 +1,199 @@
+package sgx
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+
+	"nestedenclave/internal/isa"
+	"nestedenclave/internal/measure"
+	"nestedenclave/internal/trace"
+)
+
+// This file implements EPC page eviction: EBLOCK → ETRACK (+ shootdowns) →
+// EWB, and reload via ELDU. The paper's §IV-E extension matters here: when
+// an *outer* enclave's page is evicted, translations for it may live in the
+// TLBs of cores running *inner* enclaves, so the thread-tracking mechanism
+// must include them — that is exactly what Machine.Tracker abstracts, and
+// EWB independently audits every TLB so a broken tracker is caught as an
+// error rather than a silent security hole.
+
+// EvictedPage is the encrypted blob EWB hands to the kernel for storage in
+// untrusted memory. Confidentiality, integrity and freshness are protected:
+// the content is sealed under a paging key with a one-time version slot, so
+// the kernel can neither read, modify, nor replay it.
+type EvictedPage struct {
+	Owner  isa.EID
+	Vaddr  isa.VAddr
+	Type   isa.PageType
+	Perms  isa.Perm
+	Slot   uint64 // version-array slot id (anti-replay)
+	Cipher []byte // AES-GCM(page content), nonce bound to Slot
+}
+
+// pagingAEAD builds the AEAD under the platform paging key.
+func (m *Machine) pagingAEAD() cipher.AEAD {
+	key := measure.DeriveKey(m.platformSecret, measure.KeySeal, measure.Digest{}, measure.Digest{}, []byte("epc-paging"))
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		panic(err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		panic(err)
+	}
+	return aead
+}
+
+func pagingNonce(slot uint64) []byte {
+	n := make([]byte, 12)
+	binary.LittleEndian.PutUint64(n, slot)
+	return n
+}
+
+func (p *EvictedPage) aad() []byte {
+	a := make([]byte, 8*4)
+	binary.LittleEndian.PutUint64(a[0:], uint64(p.Owner))
+	binary.LittleEndian.PutUint64(a[8:], uint64(p.Vaddr))
+	binary.LittleEndian.PutUint64(a[16:], uint64(p.Type))
+	binary.LittleEndian.PutUint64(a[24:], uint64(p.Perms))
+	return a
+}
+
+// EBlock marks an EPC page blocked: no new TLB translations can be created
+// for it (validation fails), the precondition for eviction.
+func (m *Machine) EBlock(page int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ent := m.EPC.Entry(page)
+	if !ent.Valid {
+		return isa.GP("EBLOCK: page %d not valid", page)
+	}
+	if ent.Type == isa.PTSECS {
+		return isa.GP("EBLOCK: SECS pages are not evictable in this model")
+	}
+	ent.Blocked = true
+	return nil
+}
+
+// ETrack opens a tracking epoch for the enclave and returns the cores whose
+// TLBs may hold stale translations and therefore need shootdown IPIs. The
+// selection policy is Machine.Tracker — baseline SGX scans threads of the
+// enclave itself; the nested extension (package core) adds cores running its
+// inner enclaves.
+func (m *Machine) ETrack(s *SECS) []*Core {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s.trackEpoch++
+	return m.Tracker.CoresToShootdown(m, s.EID)
+}
+
+// ShootdownLocked flushes the target core's TLB, modelling the effect of the
+// TLB-shootdown IPI (on real hardware the IPI causes an AEX, whose exit path
+// flushes). Called by the kernel (kos) for each core ETrack returned.
+func (m *Machine) Shootdown(c *Core) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c.TLB.FlushAll()
+	m.Rec.Charge(trace.EvIPI, trace.CostIPI)
+}
+
+// EWB evicts a blocked EPC page: verifies no TLB anywhere still maps it
+// (the hardware's conservative check — a failed shootdown protocol surfaces
+// here as an error), seals content+metadata, frees the page.
+func (m *Machine) EWB(page int) (*EvictedPage, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ent := m.EPC.Entry(page)
+	if !ent.Valid {
+		return nil, isa.GP("EWB: page %d not valid", page)
+	}
+	if !ent.Blocked {
+		return nil, isa.GP("EWB: page %d not blocked", page)
+	}
+	pa := m.EPC.AddrOf(page)
+	ppn := pa.PPN()
+	for _, c := range m.cores {
+		for _, e := range c.TLB.Entries() {
+			if e.PPN == ppn {
+				return nil, isa.GP("EWB: core %d still holds a translation for EPC page %d (incomplete shootdown)", c.ID, page)
+			}
+		}
+	}
+	content, err := m.LLC.Read(pa, isa.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.LLC.FlushRange(pa, isa.PageSize); err != nil {
+		return nil, err
+	}
+	m.vaSlotNext++
+	slot := m.vaSlotNext
+	blob := &EvictedPage{Owner: ent.Owner, Vaddr: ent.Vaddr, Type: ent.Type, Perms: ent.Perms, Slot: slot}
+	blob.Cipher = m.pagingAEAD().Seal(nil, pagingNonce(slot), content, blob.aad())
+	if m.vaSlots == nil {
+		m.vaSlots = make(map[uint64]bool)
+	}
+	m.vaSlots[slot] = true
+	m.MEE.DropPage(pa)
+	m.DRAM.Zero(pa, isa.PageSize)
+	if ent.Type == isa.PTTCS {
+		// Keep the TCS structure; it is restored when the page reloads.
+	}
+	if err := m.EPC.Free(page); err != nil {
+		return nil, err
+	}
+	m.Rec.Charge(trace.EvEWB, 0)
+	return blob, nil
+}
+
+// ELDU reloads an evicted page into a fresh EPC page, verifying integrity
+// and freshness (each blob loads at most once; replaying an old version
+// fails because its slot was consumed).
+func (m *Machine) ELDU(blob *EvictedPage) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.vaSlots[blob.Slot] {
+		return 0, isa.GP("ELDU: version slot %d invalid or already consumed (replay?)", blob.Slot)
+	}
+	content, err := m.pagingAEAD().Open(nil, pagingNonce(blob.Slot), blob.Cipher, blob.aad())
+	if err != nil {
+		return 0, isa.GP("ELDU: integrity check failed: %v", err)
+	}
+	if _, ok := m.secsByEID[blob.Owner]; !ok {
+		return 0, isa.GP("ELDU: owner enclave %d no longer exists", blob.Owner)
+	}
+	page, err := m.EPC.Alloc(blob.Owner, blob.Type, blob.Vaddr, blob.Perms)
+	if err != nil {
+		return 0, isa.GP("ELDU: %v", err)
+	}
+	if err := m.LLC.Write(m.EPC.AddrOf(page), content); err != nil {
+		_ = m.EPC.Free(page)
+		return 0, err
+	}
+	delete(m.vaSlots, blob.Slot)
+	m.Rec.Charge(trace.EvELD, 0)
+	return page, nil
+}
+
+// auditNoStaleTranslations is a test hook: it walks every TLB and reports
+// entries whose physical page is a freed or blocked EPC page.
+func (m *Machine) AuditTLBs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var bad []string
+	for _, c := range m.cores {
+		for _, e := range c.TLB.Entries() {
+			pa := isa.PAddr(e.PPN << isa.PageShift)
+			if !m.DRAM.PageInPRM(pa) {
+				continue
+			}
+			ent, ok := m.EPC.EntryAt(pa)
+			if !ok || !ent.Valid || ent.Blocked {
+				bad = append(bad, fmt.Sprintf("core %d vpn %#x -> stale EPC ppn %#x", c.ID, e.VPN, e.PPN))
+			}
+		}
+	}
+	return bad
+}

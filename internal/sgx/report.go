@@ -1,0 +1,139 @@
+package sgx
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+
+	"nestedenclave/internal/isa"
+	"nestedenclave/internal/measure"
+)
+
+// This file implements local attestation: EREPORT and EGETKEY. A REPORT is a
+// claim about the calling enclave's identity, MACed with a key derivable
+// only by the target enclave on the same platform — so the target can check
+// it without any trusted software in between.
+
+// Report is the EREPORT output structure.
+type Report struct {
+	// Identity of the reporting enclave.
+	MRENCLAVE  measure.Digest
+	MRSIGNER   measure.Digest
+	Attributes uint64
+	// ReportData is 64 bytes of caller-chosen data bound into the MAC
+	// (typically a channel-binding nonce or key-exchange value).
+	ReportData [64]byte
+	// TargetMRENCLAVE names the enclave able to verify this report.
+	TargetMRENCLAVE measure.Digest
+	// MAC authenticates all of the above under the target's report key.
+	MAC [32]byte
+}
+
+func (r *Report) macInput() []byte {
+	h := sha256.New()
+	h.Write([]byte("REPORT"))
+	h.Write(r.MRENCLAVE[:])
+	h.Write(r.MRSIGNER[:])
+	var a [8]byte
+	binary.LittleEndian.PutUint64(a[:], r.Attributes)
+	h.Write(a[:])
+	h.Write(r.ReportData[:])
+	h.Write(r.TargetMRENCLAVE[:])
+	return h.Sum(nil)
+}
+
+// reportKey derives the key a target enclave uses to verify reports
+// addressed to it. Only EREPORT (microcode) and EGETKEY invoked *by that
+// enclave* can produce it.
+func (m *Machine) reportKey(target measure.Digest) [16]byte {
+	return measure.DeriveKey(m.platformSecret, measure.KeyReport, target, measure.Digest{}, nil)
+}
+
+// EReport creates a report about the enclave currently executing on core c,
+// targeted at the enclave with measurement target. Must run in enclave mode.
+func (m *Machine) EReport(c *Core, target measure.Digest, reportData [64]byte) (*Report, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !c.inEnclave {
+		return nil, isa.GP("EREPORT: not in enclave mode")
+	}
+	s := c.cur
+	r := &Report{
+		MRENCLAVE:       s.MRENCLAVE,
+		MRSIGNER:        s.MRSIGNER,
+		Attributes:      s.Attributes,
+		ReportData:      reportData,
+		TargetMRENCLAVE: target,
+	}
+	key := m.reportKey(target)
+	mac := hmac.New(sha256.New, key[:])
+	mac.Write(r.macInput())
+	copy(r.MAC[:], mac.Sum(nil))
+	return r, nil
+}
+
+// VerifyReport checks a report addressed to the enclave running on core c.
+// Must run in enclave mode of the target enclave (only it can derive the
+// report key).
+func (m *Machine) VerifyReport(c *Core, r *Report) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !c.inEnclave {
+		return isa.GP("report verify: not in enclave mode")
+	}
+	if r.TargetMRENCLAVE != c.cur.MRENCLAVE {
+		return isa.GP("report verify: report targets %v, not this enclave (%v)",
+			r.TargetMRENCLAVE, c.cur.MRENCLAVE)
+	}
+	key := m.reportKey(c.cur.MRENCLAVE)
+	mac := hmac.New(sha256.New, key[:])
+	mac.Write(r.macInput())
+	if !hmac.Equal(mac.Sum(nil)[:32], r.MAC[:]) {
+		return isa.GP("report verify: MAC mismatch")
+	}
+	return nil
+}
+
+// MACWithReportKey authenticates an arbitrary payload under the report key
+// of the target enclave. It is microcode support for NEREPORT (package
+// core), whose report covers the association relationship in addition to the
+// fields EREPORT signs.
+func (m *Machine) MACWithReportKey(target measure.Digest, payload []byte) [32]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := m.reportKey(target)
+	mac := hmac.New(sha256.New, key[:])
+	mac.Write(payload)
+	var out [32]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// SealPolicy selects the identity a sealing key binds to.
+type SealPolicy uint8
+
+const (
+	// SealToEnclave binds to MRENCLAVE: only the identical enclave unseals.
+	SealToEnclave SealPolicy = iota
+	// SealToSigner binds to MRSIGNER: any enclave from the same author.
+	SealToSigner
+)
+
+// EGetKey derives a key for the enclave running on core c. Must run in
+// enclave mode; the derivation mixes the platform secret with the enclave's
+// identity, so no other enclave (or the OS) can derive the same key.
+func (m *Machine) EGetKey(c *Core, name measure.KeyName, policy SealPolicy, extra []byte) ([16]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !c.inEnclave {
+		return [16]byte{}, isa.GP("EGETKEY: not in enclave mode")
+	}
+	s := c.cur
+	switch policy {
+	case SealToEnclave:
+		return measure.DeriveKey(m.platformSecret, name, s.MRENCLAVE, measure.Digest{}, extra), nil
+	case SealToSigner:
+		return measure.DeriveKey(m.platformSecret, name, measure.Digest{}, s.MRSIGNER, extra), nil
+	}
+	return [16]byte{}, isa.GP("EGETKEY: unknown policy %d", policy)
+}

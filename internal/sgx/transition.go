@@ -1,0 +1,209 @@
+package sgx
+
+import (
+	"nestedenclave/internal/isa"
+	"nestedenclave/internal/trace"
+)
+
+// This file implements the enclave entry/exit instructions. The TLB is
+// flushed on *every* protection-domain transition — the mechanism that
+// upholds the invariant "TLB must always contain only valid translations".
+//
+// Suspended outer-enclave context during nested execution lives in the inner
+// TCS (the paper: NEENTER "saves the current context ... to a reserved stack
+// frame of the entering inner enclave"), so it survives ocall round trips
+// and asynchronous exits of the inner enclave.
+
+// Ret returns the saved outer-enclave frame of a nested entry, nil for
+// top-level entries.
+func (t *TCS) Ret() bool { return t.ret != nil }
+
+// EEnter enters an initialized enclave through the TCS at tcsVaddr.
+// With resume=false the TCS must be idle and is claimed; with resume=true
+// the caller returns into a TCS it already holds (the ocall-return path).
+func (m *Machine) EEnter(c *Core, s *SECS, tcsVaddr isa.VAddr, resume bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c.inEnclave {
+		return isa.GP("EENTER: core %d already in enclave mode", c.ID)
+	}
+	if s == nil || !s.Initialized {
+		return isa.GP("EENTER: enclave not initialized")
+	}
+	t, err := s.FindTCS(tcsVaddr)
+	if err != nil {
+		return isa.GP("EENTER: %v", err)
+	}
+	if resume {
+		if !t.Busy {
+			return isa.GP("EENTER: resume into idle TCS %#x", uint64(tcsVaddr))
+		}
+	} else {
+		if t.Busy {
+			return isa.GP("EENTER: TCS %#x busy", uint64(tcsVaddr))
+		}
+		if t.ret != nil {
+			return isa.GP("EENTER: TCS %#x holds a suspended nested frame", uint64(tcsVaddr))
+		}
+		t.Busy = true
+	}
+	c.TLB.FlushAll()
+	c.inEnclave = true
+	c.cur = s
+	c.curTCS = t
+	s.epochEntries[c.ID] = s.trackEpoch
+	if resume {
+		m.Rec.Charge(trace.EvEENTER, trace.CostEENTERResume)
+	} else {
+		m.Rec.Charge(trace.EvEENTER, trace.CostEENTER)
+	}
+	return nil
+}
+
+// EExit leaves enclave mode synchronously. With release=true the TCS is
+// freed (the final return of an ecall); release=false keeps it claimed for
+// a later resuming EENTER (the ocall path).
+//
+// EEXIT works from inner and outer enclaves alike (paper Figure 5: inner or
+// outer enclaves transit directly to non-enclave mode); a release-exit from
+// a nested context without NEEXITing first is a #GP, since it would strand
+// the suspended outer frame.
+func (m *Machine) EExit(c *Core, release bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !c.inEnclave {
+		return isa.GP("EEXIT: core %d not in enclave mode", c.ID)
+	}
+	t := c.curTCS
+	if release {
+		if t.ret != nil {
+			return isa.GP("EEXIT: releasing TCS with suspended outer frame (NEEXIT first)")
+		}
+		t.Busy = false
+	}
+	c.TLB.FlushAll()
+	cur := c.cur
+	c.inEnclave = false
+	c.cur = nil
+	c.curTCS = nil
+	delete(cur.epochEntries, c.ID)
+	m.Rec.Charge(trace.EvEEXIT, trace.CostEEXIT)
+	return nil
+}
+
+// AEX is an asynchronous enclave exit: a hardware exception or interrupt
+// while in enclave mode. The full execution context — including the nested
+// frame chain head — is saved into the TCS's state-save area, the register
+// file is scrubbed, the TLB flushed, and the core returns to non-enclave
+// mode so the kernel's handler can run.
+func (m *Machine) AEX(c *Core) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.aexLocked(c)
+}
+
+func (m *Machine) aexLocked(c *Core) error {
+	if !c.inEnclave {
+		return isa.GP("AEX: core %d not in enclave mode", c.ID)
+	}
+	t := c.curTCS
+	t.ssa = &savedFrame{regs: c.Regs, cur: c.cur, curTCS: t}
+	c.Regs.Scrub()
+	c.TLB.FlushAll()
+	delete(c.cur.epochEntries, c.ID)
+	c.inEnclave = false
+	c.cur = nil
+	c.curTCS = nil
+	m.Rec.Charge(trace.EvAEX, trace.CostAEX)
+	return nil
+}
+
+// EResume re-enters an enclave after an AEX, restoring the saved context.
+func (m *Machine) EResume(c *Core, t *TCS) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c.inEnclave {
+		return isa.GP("ERESUME: core %d already in enclave mode", c.ID)
+	}
+	if t.ssa == nil {
+		return isa.GP("ERESUME: TCS has no saved state")
+	}
+	f := t.ssa
+	t.ssa = nil
+	c.TLB.FlushAll()
+	c.inEnclave = true
+	c.cur = f.cur
+	c.curTCS = f.curTCS
+	c.Regs = f.regs
+	f.cur.epochEntries[c.ID] = f.cur.trackEpoch
+	m.Rec.Charge(trace.EvEENTER, trace.CostEENTER)
+	return nil
+}
+
+// --- Microcode support for package core (the nested-enclave extension). ---
+//
+// The methods below are the state-manipulation halves of NEENTER/NEEXIT.
+// The *semantic* checks — association validation, TCS ownership, #GP
+// conditions — live in package core with the rest of the paper's
+// contribution; these helpers only enforce machine-consistency contracts.
+
+// Atomically runs f with the machine lock held, serializing it against all
+// memory accesses and instructions. Package core implements its instructions
+// inside this.
+func (m *Machine) Atomically(f func() error) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return f()
+}
+
+// SwitchToNestedLocked performs NEENTER's context switch: the current
+// (outer) context and registers are saved into the inner TCS's reserved
+// frame, the TLB is flushed, the inner TCS is claimed, and the core enters
+// the inner enclave. Caller holds the machine lock (via Atomically) and has
+// validated the transition.
+func (c *Core) SwitchToNestedLocked(inner *SECS, t *TCS) {
+	t.ret = &enclaveFrame{secs: c.cur, tcs: c.curTCS, regs: c.Regs}
+	t.Busy = true
+	c.TLB.FlushAll()
+	delete(c.cur.epochEntries, c.ID)
+	c.inEnclave = true
+	c.cur = inner
+	c.curTCS = t
+	inner.epochEntries[c.ID] = inner.trackEpoch
+}
+
+// SwitchFromNestedLocked performs NEEXIT's context switch: the register file
+// is scrubbed (clearing "all the information of the inner enclave"), the TLB
+// flushed, the inner TCS released, and the suspended outer context restored.
+// Caller holds the machine lock and has validated the transition.
+func (c *Core) SwitchFromNestedLocked() {
+	t := c.curTCS
+	f := t.ret
+	t.ret = nil
+	t.Busy = false
+	c.Regs.Scrub()
+	c.TLB.FlushAll()
+	delete(c.cur.epochEntries, c.ID)
+	c.cur = f.secs
+	c.curTCS = f.tcs
+	c.Regs = f.regs
+	f.secs.epochEntries[c.ID] = f.secs.trackEpoch
+}
+
+// RetFrameEID returns the EID of the suspended outer enclave saved in the
+// TCS, or NoEnclave. Used by the thread-tracking extension.
+func (t *TCS) RetFrameEID() isa.EID {
+	if t.ret == nil {
+		return isa.NoEnclave
+	}
+	return t.ret.secs.EID
+}
+
+// retChainEIDs walks the suspended-frame chain from t outward.
+func (t *TCS) retChainEIDs() []isa.EID {
+	var out []isa.EID
+	for cur := t; cur != nil && cur.ret != nil; cur = cur.ret.tcs {
+		out = append(out, cur.ret.secs.EID)
+	}
+	return out
+}

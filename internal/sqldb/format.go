@@ -1,0 +1,110 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatStmt renders a parsed statement back to SQL. The nested SQL service
+// uses it to rewrite queries (the inner enclave parses, encrypts literal
+// values, and forwards the rewritten text to the shared database service).
+func FormatStmt(st Stmt) (string, error) {
+	var b strings.Builder
+	switch s := st.(type) {
+	case *CreateStmt:
+		b.WriteString("CREATE TABLE ")
+		b.WriteString(s.Table)
+		b.WriteString(" (")
+		for i, c := range s.Cols {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %s", c.Name, c.Kind)
+			if i == s.PK {
+				b.WriteString(" PRIMARY KEY")
+			}
+		}
+		b.WriteString(")")
+	case *InsertStmt:
+		b.WriteString("INSERT INTO ")
+		b.WriteString(s.Table)
+		if len(s.Cols) > 0 {
+			b.WriteString(" (")
+			b.WriteString(strings.Join(s.Cols, ", "))
+			b.WriteString(")")
+		}
+		b.WriteString(" VALUES (")
+		for i, v := range s.Vals {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(formatLiteral(v))
+		}
+		b.WriteString(")")
+	case *SelectStmt:
+		b.WriteString("SELECT ")
+		switch {
+		case s.Count:
+			b.WriteString("COUNT(*)")
+		case s.Cols == nil:
+			b.WriteString("*")
+		default:
+			b.WriteString(strings.Join(s.Cols, ", "))
+		}
+		b.WriteString(" FROM ")
+		b.WriteString(s.Table)
+		formatWhere(&b, s.Where)
+		if s.OrderBy != "" {
+			fmt.Fprintf(&b, " ORDER BY %s", s.OrderBy)
+			if s.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+		if s.Limit >= 0 {
+			fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+		}
+	case *UpdateStmt:
+		b.WriteString("UPDATE ")
+		b.WriteString(s.Table)
+		b.WriteString(" SET ")
+		for i, set := range s.Sets {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s = %s", set.Col, formatLiteral(set.Val))
+		}
+		formatWhere(&b, s.Where)
+	case *DeleteStmt:
+		b.WriteString("DELETE FROM ")
+		b.WriteString(s.Table)
+		formatWhere(&b, s.Where)
+	default:
+		return "", fmt.Errorf("sqldb: cannot format %T", st)
+	}
+	return b.String(), nil
+}
+
+func formatWhere(b *strings.Builder, where []Cond) {
+	for i, c := range where {
+		if i == 0 {
+			b.WriteString(" WHERE ")
+		} else {
+			b.WriteString(" AND ")
+		}
+		fmt.Fprintf(b, "%s %s %s", c.Col, c.Op, formatLiteral(c.Val))
+	}
+}
+
+func formatLiteral(v Value) string {
+	if v.Kind == KText {
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	}
+	if v.Kind == KFloat {
+		s := v.String()
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	}
+	return v.String()
+}

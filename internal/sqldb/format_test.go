@@ -1,0 +1,68 @@
+package sqldb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatRoundTrip(t *testing.T) {
+	cases := []string{
+		"CREATE TABLE t (id INT PRIMARY KEY, name TEXT, score FLOAT)",
+		"INSERT INTO t VALUES (1, 'a''b', 2.5)",
+		"INSERT INTO t (id, name) VALUES (1, 'x')",
+		"SELECT * FROM t",
+		"SELECT COUNT(*) FROM t WHERE id > 3",
+		"SELECT name, score FROM t WHERE id >= 1 AND name != 'q' ORDER BY score DESC LIMIT 5",
+		"UPDATE t SET name = 'y', score = 1.0 WHERE id = 2",
+		"DELETE FROM t WHERE score <= 0.5",
+	}
+	for _, sql := range cases {
+		st, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sql, err)
+		}
+		out, err := FormatStmt(st)
+		if err != nil {
+			t.Fatalf("format %q: %v", sql, err)
+		}
+		st2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("reparse %q (from %q): %v", out, sql, err)
+		}
+		out2, err := FormatStmt(st2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != out2 {
+			t.Fatalf("format not a fixed point: %q vs %q", out, out2)
+		}
+	}
+}
+
+// Property: formatting any INSERT with arbitrary text survives a
+// parse/format round trip with the value intact.
+func TestFormatTextProperty(t *testing.T) {
+	f := func(s string) bool {
+		// The lexer operates on bytes; restrict to valid single-byte text.
+		clean := make([]byte, 0, len(s))
+		for _, b := range []byte(s) {
+			if b >= 0x20 && b < 0x7f {
+				clean = append(clean, b)
+			}
+		}
+		st := &InsertStmt{Table: "t", Vals: []Value{Int(1), Text(string(clean))}}
+		sql, err := FormatStmt(st)
+		if err != nil {
+			return false
+		}
+		back, err := Parse(sql)
+		if err != nil {
+			return false
+		}
+		ins, ok := back.(*InsertStmt)
+		return ok && len(ins.Vals) == 2 && ins.Vals[1].S == string(clean)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

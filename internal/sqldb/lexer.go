@@ -1,0 +1,124 @@
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Token kinds.
+type tokKind uint8
+
+const (
+	tkIdent tokKind = iota
+	tkKeyword
+	tkInt
+	tkFloat
+	tkString
+	tkPunct // ( ) , ; * =  < > <= >= != <>
+	tkEOF
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased
+	i    int64
+	f    float64
+}
+
+var keywords = map[string]bool{
+	"CREATE": true, "TABLE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "SELECT": true, "FROM": true, "WHERE": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "AND": true,
+	"INT": true, "INTEGER": true, "FLOAT": true, "REAL": true,
+	"TEXT": true, "VARCHAR": true, "PRIMARY": true, "KEY": true,
+	"NULL": true, "LIMIT": true, "ORDER": true, "BY": true,
+	"COUNT": true, "ASC": true, "DESC": true,
+}
+
+func lex(sql string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(sql) {
+		c := sql[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(sql) {
+					return nil, fmt.Errorf("sqldb: unterminated string literal")
+				}
+				if sql[j] == '\'' {
+					if j+1 < len(sql) && sql[j+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(sql[j])
+				j++
+			}
+			toks = append(toks, token{kind: tkString, text: sb.String()})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < len(sql) && sql[i+1] >= '0' && sql[i+1] <= '9'):
+			j := i + 1
+			isFloat := false
+			for j < len(sql) && (sql[j] >= '0' && sql[j] <= '9' || sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E' ||
+				((sql[j] == '+' || sql[j] == '-') && (sql[j-1] == 'e' || sql[j-1] == 'E'))) {
+				if sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E' {
+					isFloat = true
+				}
+				j++
+			}
+			text := sql[i:j]
+			if isFloat {
+				f, err := strconv.ParseFloat(text, 64)
+				if err != nil {
+					return nil, fmt.Errorf("sqldb: bad number %q", text)
+				}
+				toks = append(toks, token{kind: tkFloat, f: f, text: text})
+			} else {
+				n, err := strconv.ParseInt(text, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("sqldb: bad integer %q", text)
+				}
+				toks = append(toks, token{kind: tkInt, i: n, text: text})
+			}
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i + 1
+			for j < len(sql) && (unicode.IsLetter(rune(sql[j])) || unicode.IsDigit(rune(sql[j])) || sql[j] == '_') {
+				j++
+			}
+			word := sql[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{kind: tkKeyword, text: up})
+			} else {
+				toks = append(toks, token{kind: tkIdent, text: word})
+			}
+			i = j
+		case c == '<' || c == '>' || c == '!':
+			if i+1 < len(sql) && (sql[i+1] == '=' || (c == '<' && sql[i+1] == '>')) {
+				toks = append(toks, token{kind: tkPunct, text: sql[i : i+2]})
+				i += 2
+			} else if c == '!' {
+				return nil, fmt.Errorf("sqldb: unexpected '!'")
+			} else {
+				toks = append(toks, token{kind: tkPunct, text: string(c)})
+				i++
+			}
+		case c == '(' || c == ')' || c == ',' || c == ';' || c == '*' || c == '=':
+			toks = append(toks, token{kind: tkPunct, text: string(c)})
+			i++
+		default:
+			return nil, fmt.Errorf("sqldb: unexpected character %q", c)
+		}
+	}
+	return append(toks, token{kind: tkEOF}), nil
+}

@@ -1,0 +1,307 @@
+package sqldb
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func setup(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	if _, err := db.Exec("CREATE TABLE users (id INT PRIMARY KEY, name TEXT, score FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := setup(t)
+	if _, err := db.Exec("INSERT INTO users VALUES (1, 'alice', 9.5)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO users (id, name) VALUES (2, 'bob')"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := db.Exec("SELECT * FROM users WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0][1].S != "alice" || r.Rows[0][2].F != 9.5 {
+		t.Fatalf("rows: %v", r.Rows)
+	}
+	// NULL for omitted column.
+	r = db.MustExec("SELECT score FROM users WHERE id = 2")
+	if r.Rows[0][0].Kind != KNull {
+		t.Fatalf("omitted column = %v", r.Rows[0][0])
+	}
+}
+
+func TestProjectionAndOrder(t *testing.T) {
+	db := setup(t)
+	for i, name := range []string{"c", "a", "b"} {
+		db.MustExec(fmt.Sprintf("INSERT INTO users VALUES (%d, '%s', %d.0)", i+1, name, 10-i))
+	}
+	r := db.MustExec("SELECT name FROM users ORDER BY name")
+	got := []string{r.Rows[0][0].S, r.Rows[1][0].S, r.Rows[2][0].S}
+	if strings.Join(got, "") != "abc" {
+		t.Fatalf("order by: %v", got)
+	}
+	r = db.MustExec("SELECT name FROM users ORDER BY score DESC LIMIT 2")
+	if len(r.Rows) != 2 || r.Rows[0][0].S != "c" {
+		t.Fatalf("order desc limit: %v", r.Rows)
+	}
+	if r.Columns[0] != "name" {
+		t.Fatalf("columns: %v", r.Columns)
+	}
+}
+
+func TestWhereOperatorsAndConjunction(t *testing.T) {
+	db := setup(t)
+	for i := 1; i <= 10; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO users VALUES (%d, 'u%d', %d.0)", i, i, i))
+	}
+	cases := []struct {
+		where string
+		want  int
+	}{
+		{"id = 5", 1},
+		{"id != 5", 9},
+		{"id <> 5", 9},
+		{"id < 3", 2},
+		{"id <= 3", 3},
+		{"id > 8", 2},
+		{"id >= 8", 3},
+		{"id > 2 AND id < 5", 2},
+		{"id > 2 AND score < 4.5", 2},
+		{"name = 'u7'", 1},
+	}
+	for _, c := range cases {
+		r := db.MustExec("SELECT COUNT(*) FROM users WHERE " + c.where)
+		if got := int(r.Rows[0][0].I); got != c.want {
+			t.Errorf("WHERE %s: count %d, want %d", c.where, got, c.want)
+		}
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	db := setup(t)
+	for i := 1; i <= 5; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO users VALUES (%d, 'u%d', 0.0)", i, i))
+	}
+	r := db.MustExec("UPDATE users SET score = 7.5 WHERE id >= 4")
+	if r.Affected != 2 {
+		t.Fatalf("update affected %d", r.Affected)
+	}
+	r = db.MustExec("SELECT COUNT(*) FROM users WHERE score = 7.5")
+	if r.Rows[0][0].I != 2 {
+		t.Fatalf("updated rows: %v", r.Rows)
+	}
+	r = db.MustExec("DELETE FROM users WHERE id < 3")
+	if r.Affected != 2 {
+		t.Fatalf("delete affected %d", r.Affected)
+	}
+	n, _ := db.NumRows("users")
+	if n != 3 {
+		t.Fatalf("live rows %d", n)
+	}
+	// Deleted keys are gone from the index.
+	r = db.MustExec("SELECT * FROM users WHERE id = 1")
+	if len(r.Rows) != 0 {
+		t.Fatal("deleted row returned")
+	}
+	// And can be reinserted.
+	db.MustExec("INSERT INTO users VALUES (1, 'again', 0.0)")
+	r = db.MustExec("SELECT name FROM users WHERE id = 1")
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "again" {
+		t.Fatalf("reinsert: %v", r.Rows)
+	}
+}
+
+func TestPrimaryKeyConstraints(t *testing.T) {
+	db := setup(t)
+	db.MustExec("INSERT INTO users VALUES (1, 'a', 0.0)")
+	if _, err := db.Exec("INSERT INTO users VALUES (1, 'dup', 0.0)"); err == nil {
+		t.Fatal("duplicate PK accepted")
+	}
+	if _, err := db.Exec("INSERT INTO users (name) VALUES ('nokey')"); err == nil {
+		t.Fatal("NULL PK accepted")
+	}
+	// PK update maintains the index.
+	db.MustExec("UPDATE users SET id = 42 WHERE id = 1")
+	if r := db.MustExec("SELECT name FROM users WHERE id = 42"); len(r.Rows) != 1 {
+		t.Fatal("row lost after PK update")
+	}
+	if r := db.MustExec("SELECT name FROM users WHERE id = 1"); len(r.Rows) != 0 {
+		t.Fatal("stale index entry after PK update")
+	}
+	db.MustExec("INSERT INTO users VALUES (2, 'x', 0.0)")
+	if _, err := db.Exec("UPDATE users SET id = 2 WHERE id = 42"); err == nil {
+		t.Fatal("PK update onto existing key accepted")
+	}
+}
+
+func TestDeclaredPrimaryKeyColumn(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE kv (payload TEXT, k INT PRIMARY KEY)")
+	db.MustExec("INSERT INTO kv VALUES ('v1', 10)")
+	if _, err := db.Exec("INSERT INTO kv VALUES ('v2', 10)"); err == nil {
+		t.Fatal("duplicate declared PK accepted")
+	}
+	r := db.MustExec("SELECT payload FROM kv WHERE k = 10")
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "v1" {
+		t.Fatalf("lookup on declared PK: %v", r.Rows)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := setup(t)
+	bad := []string{
+		"SELECT * FROM missing",
+		"INSERT INTO users VALUES (1, 'a')",               // arity
+		"INSERT INTO users VALUES (1, 'a', 'notfloat')",   // type
+		"SELECT nope FROM users",                          // column
+		"UPDATE users SET nope = 1",                       // column
+		"CREATE TABLE users (id INT)",                     // exists
+		"CREATE TABLE t2 (id INT, id TEXT)",               // dup column
+		"CREATE TABLE t3 ()",                              // empty — parse error
+		"SELECT * FROM users WHERE id LIKE 3",             // unsupported op
+		"FROB users",                                      // unknown statement
+		"SELECT * FROM users WHERE id = 1 extra_tokens x", // trailing garbage
+		"INSERT INTO users (id, name) VALUES (1)",         // col/val mismatch
+		"SELECT * FROM users LIMIT 'x'",                   // bad limit
+	}
+	for _, sql := range bad {
+		if _, err := db.Exec(sql); err == nil {
+			t.Errorf("accepted: %s", sql)
+		}
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	db := setup(t)
+	db.MustExec("INSERT INTO users VALUES (1, 'o''brien', 0.0)")
+	r := db.MustExec("SELECT name FROM users WHERE id = 1")
+	if r.Rows[0][0].S != "o'brien" {
+		t.Fatalf("escape: %q", r.Rows[0][0].S)
+	}
+}
+
+func TestBTreeBasics(t *testing.T) {
+	bt := NewBTree()
+	const n = 2000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, k := range perm {
+		if !bt.Set(Int(int64(k)), k) {
+			t.Fatalf("duplicate insert reported for %d", k)
+		}
+	}
+	if bt.Len() != n {
+		t.Fatalf("len %d", bt.Len())
+	}
+	for i := 0; i < n; i++ {
+		id, ok := bt.Get(Int(int64(i)))
+		if !ok || id != i {
+			t.Fatalf("get %d: %d %v", i, id, ok)
+		}
+	}
+	// Ordered scan.
+	prev := int64(-1)
+	count := 0
+	bt.Scan(func(k Value, id int) bool {
+		if k.I <= prev {
+			t.Fatalf("scan out of order at %d", k.I)
+		}
+		prev = k.I
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("scan visited %d", count)
+	}
+	// Range scan.
+	var got []int64
+	lo, hi := Int(100), Int(110)
+	bt.ScanRange(&lo, &hi, func(k Value, id int) bool {
+		got = append(got, k.I)
+		return true
+	})
+	if len(got) != 11 || got[0] != 100 || got[10] != 110 {
+		t.Fatalf("range scan: %v", got)
+	}
+	// Delete.
+	if !bt.Delete(Int(500)) {
+		t.Fatal("delete existing failed")
+	}
+	if bt.Delete(Int(500)) {
+		t.Fatal("double delete succeeded")
+	}
+	if _, ok := bt.Get(Int(500)); ok {
+		t.Fatal("deleted key resolvable")
+	}
+	if bt.Len() != n-1 {
+		t.Fatalf("len after delete %d", bt.Len())
+	}
+	// Replace.
+	if bt.Set(Int(7), 999) {
+		t.Fatal("replace reported as insert")
+	}
+	if id, _ := bt.Get(Int(7)); id != 999 {
+		t.Fatalf("replace lost: %d", id)
+	}
+}
+
+// Property: the B-tree agrees with a reference map under random ops, and
+// scans are always sorted.
+func TestBTreeMatchesMapProperty(t *testing.T) {
+	type op struct {
+		Key int16
+		Del bool
+	}
+	f := func(ops []op) bool {
+		bt := NewBTree()
+		ref := map[int64]int{}
+		for i, o := range ops {
+			k := int64(o.Key)
+			if o.Del {
+				_, inRef := ref[k]
+				if bt.Delete(Int(k)) != inRef {
+					return false
+				}
+				delete(ref, k)
+			} else {
+				_, inRef := ref[k]
+				if bt.Set(Int(k), i) == inRef {
+					return false
+				}
+				ref[k] = i
+			}
+		}
+		if bt.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			id, ok := bt.Get(Int(k))
+			if !ok || id != v {
+				return false
+			}
+		}
+		prev := int64(-1 << 62)
+		sorted := true
+		n := 0
+		bt.Scan(func(k Value, id int) bool {
+			if k.I <= prev {
+				sorted = false
+			}
+			prev = k.I
+			n++
+			return true
+		})
+		return sorted && n == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

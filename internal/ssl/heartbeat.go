@@ -1,0 +1,58 @@
+package ssl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nestedenclave/internal/isa"
+)
+
+// respondHeartbeat implements RFC 6520 processing of a request staged at buf
+// (n plaintext bytes) in the library's enclave heap.
+//
+// The vulnerable variant is a faithful transliteration of the OpenSSL
+// 1.0.1–1.0.1f defect (CVE-2014-0160): it trusts the attacker-controlled
+// 16-bit payload-length field and copies that many bytes starting at the
+// payload — reading past the end of the staged request into whatever the
+// enclave heap holds above it. The fixed variant applies the bounds check
+// from OpenSSL 1.0.1g: "silently discard if payload length + overhead
+// exceeds the record length".
+//
+// Reads happen through the Mem interface, i.e. through the simulated
+// machine's access-validated path. That is the crux of the case study: the
+// same buggy code leaks real application secrets when the application shares
+// its enclave, and only 0xFF abort-page filler when the application data
+// lives in an inner enclave this library cannot read.
+func (s *Server) respondHeartbeat(buf isa.VAddr, n int) ([]byte, error) {
+	if n < 3 {
+		return nil, nil // malformed: discard silently per RFC
+	}
+	hdr, err := s.mem.Read(buf, 3)
+	if err != nil {
+		return nil, err
+	}
+	if hdr[0] != hbRequest {
+		return nil, nil
+	}
+	claimed := int(binary.BigEndian.Uint16(hdr[1:3]))
+
+	if !s.cfg.Vulnerable {
+		// OpenSSL 1.0.1g: 1 type byte + 2 length bytes + payload + 16 pad.
+		if 3+claimed+16 > n {
+			return nil, nil // silently discard
+		}
+	}
+
+	// memcpy(bp, pl, payload): read `claimed` bytes starting at the payload,
+	// however many of them actually belong to this request.
+	echo, err := s.mem.Read(buf+3, claimed)
+	if err != nil {
+		return nil, fmt.Errorf("ssl: heartbeat read: %w", err)
+	}
+	body := make([]byte, 3+claimed+16)
+	body[0] = hbResponse
+	binary.BigEndian.PutUint16(body[1:3], uint16(claimed))
+	copy(body[3:], echo)
+	copy(body[3+claimed:], randomBytes(16))
+	return body, nil
+}

@@ -1,0 +1,167 @@
+package ssl
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// Session-level behaviour: multiple connections, interleaved record types,
+// and property tests on the record layer.
+
+func TestMultipleIndependentSessions(t *testing.T) {
+	type session struct {
+		c *Client
+		s *Server
+	}
+	var sessions []session
+	for i := 0; i < 4; i++ {
+		c, s, _ := newPair(t, Config{}, Config{})
+		if err := handshake(t, c, s); err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		sessions = append(sessions, session{c, s})
+	}
+	// Records from one session fail on another (independent keys).
+	rec, err := sessions[0].c.Send([]byte("for session 0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sessions[1].s.ProcessRecord(rec, func(b []byte) []byte { return b }); err == nil {
+		t.Fatal("cross-session record accepted")
+	}
+	// Each session still works after the cross-session attempt.
+	for i, ss := range sessions {
+		if i == 0 {
+			continue // session 0's record was consumed above
+		}
+		rec, err := ss.c.Send([]byte(fmt.Sprintf("msg-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ss.s.ProcessRecord(rec, func(b []byte) []byte { return b })
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		_, pt, err := ss.c.Recv(resp)
+		if err != nil || string(pt) != fmt.Sprintf("msg-%d", i) {
+			t.Fatalf("session %d echo: %q %v", i, pt, err)
+		}
+	}
+}
+
+func TestInterleavedHeartbeatsAndData(t *testing.T) {
+	c, s, _ := newPair(t, Config{}, Config{Vulnerable: false})
+	if err := handshake(t, c, s); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if i%3 == 0 {
+			req, err := c.Heartbeat([]byte("hb"), 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := s.ProcessRecord(req, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			echo, err := c.OpenHeartbeatResponse(resp)
+			if err != nil || string(echo) != "hb" {
+				t.Fatalf("iter %d heartbeat: %q %v", i, echo, err)
+			}
+		} else {
+			msg := []byte(fmt.Sprintf("data-%d", i))
+			rec, err := c.Send(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := s.ProcessRecord(rec, func(b []byte) []byte { return b })
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, pt, err := c.Recv(resp)
+			if err != nil || !bytes.Equal(pt, msg) {
+				t.Fatalf("iter %d data: %q %v", i, pt, err)
+			}
+		}
+	}
+}
+
+func TestHeapDoesNotLeakAcrossRecords(t *testing.T) {
+	// Record staging buffers are freed after processing: the heap's live
+	// bytes return to baseline between records.
+	c, s, mem := newPair(t, Config{}, Config{})
+	if err := handshake(t, c, s); err != nil {
+		t.Fatal(err)
+	}
+	baseline := mem.heap.LiveBytes()
+	for i := 0; i < 50; i++ {
+		rec, err := c.Send(bytes.Repeat([]byte{1}, 500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.ProcessRecord(rec, func(b []byte) []byte { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := mem.heap.LiveBytes(); got != baseline {
+		t.Fatalf("staging buffers leaked: %d -> %d live bytes", baseline, got)
+	}
+}
+
+// Property: arbitrary payloads round-trip the record layer, and any
+// single-byte corruption of the wire record is rejected.
+func TestRecordLayerProperty(t *testing.T) {
+	c, s, _ := newPair(t, Config{}, Config{})
+	if err := handshake(t, c, s); err != nil {
+		t.Fatal(err)
+	}
+	f := func(payload []byte, flipAt uint16, corrupt bool) bool {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		rec, err := c.Send(payload)
+		if err != nil {
+			return false
+		}
+		if corrupt && len(rec) > 3 {
+			rec[3+int(flipAt)%(len(rec)-3)] ^= 1
+			_, err := s.ProcessRecord(rec, func(b []byte) []byte { return nil })
+			// Note: corruption of the body must fail; the server's recv
+			// sequence number must NOT advance on failure, so the next
+			// honest record still authenticates. Re-send honestly:
+			if err == nil {
+				return false
+			}
+			rec[3+int(flipAt)%(len(rec)-3)] ^= 1
+		}
+		got := []byte(nil)
+		if _, err := s.ProcessRecord(rec, func(b []byte) []byte {
+			got = append([]byte(nil), b...)
+			return nil
+		}); err != nil {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	c, s, _ := newPair(t, Config{}, Config{})
+	if err := handshake(t, c, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Send(make([]byte, maxPlaintextSize)); err == nil {
+		t.Fatal("oversized plaintext accepted")
+	}
+	// Malformed wire records.
+	for _, rec := range [][]byte{nil, {1}, {recAppData, 0, 5, 1, 2}} {
+		if _, err := s.ProcessRecord(rec, nil); err == nil {
+			t.Fatalf("malformed record %v accepted", rec)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package ssl is a miniature TLS-like library standing in for OpenSSL in the
+// confinement case study (paper §VI-A).
+//
+// It provides what the case study needs from "a collection of cryptographic
+// functions and secure communication protocols":
+//
+//   - a real key-exchange handshake (X25519 + HKDF-style key schedule) with
+//     transcript authentication, so version-rollback and cipher-substitution
+//     tampering is detected (the "rich security features of the standard
+//     SSL" the paper's echo server keeps using);
+//   - an authenticated record layer (AES-GCM, per-direction keys and
+//     sequence numbers);
+//   - the RFC 6520 heartbeat extension — including, behind Config.Vulnerable,
+//     the exact CVE-2014-0160 (Heartbleed) defect: the response copies
+//     `claimed payload length` bytes starting at the request payload, without
+//     checking the claim against the record's actual length.
+//
+// Fidelity matters for the last point, so the library's record buffers live
+// in *simulated enclave memory*: every incoming record is copied onto the
+// enclave heap (package talloc via the Mem interface), and the heartbeat
+// responder reads the echo bytes back out of that memory. An over-read
+// therefore returns whatever sits above the buffer in the library's enclave
+// — application secrets when the library shares the application's enclave,
+// abort-page 0xFF bytes when the application lives in an inner enclave the
+// library cannot see.
+package ssl
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"nestedenclave/internal/isa"
+)
+
+// Mem is the enclave-memory interface the library allocates its buffers
+// through. *sdk.Env satisfies it.
+type Mem interface {
+	Read(v isa.VAddr, n int) ([]byte, error)
+	Write(v isa.VAddr, b []byte) error
+	Malloc(n int) (isa.VAddr, error)
+	Free(v isa.VAddr) error
+}
+
+// Version identifiers, newest first.
+const (
+	VersionTLS13Like uint16 = 0x0304
+	VersionTLS12Like uint16 = 0x0303
+	VersionLegacy    uint16 = 0x0301 // deliberately weak, for rollback tests
+)
+
+// Config selects protocol behaviour.
+type Config struct {
+	// Vulnerable enables the CVE-2014-0160 heartbeat path.
+	Vulnerable bool
+	// Version is the protocol version offered (client) / required minimum
+	// (server). Zero means VersionTLS13Like.
+	Version uint16
+	// MinVersion, when non-zero, makes the endpoint reject lower versions
+	// (rollback protection policy).
+	MinVersion uint16
+}
+
+func (c Config) version() uint16 {
+	if c.Version == 0 {
+		return VersionTLS13Like
+	}
+	return c.Version
+}
+
+// Record types.
+const (
+	recHandshake     uint8 = 22
+	recAppData       uint8 = 23
+	RecHeartbeat     uint8 = 24
+	hbRequest        uint8 = 1
+	hbResponse       uint8 = 2
+	maxPlaintextSize       = 1 << 16
+)
+
+// suite holds the per-connection key material after a handshake.
+type suite struct {
+	version  uint16
+	sendAEAD cipher.AEAD
+	recvAEAD cipher.AEAD
+	sendSeq  uint64
+	recvSeq  uint64
+}
+
+func hkdfLike(secret, salt []byte, label string) []byte {
+	mac := hmac.New(sha256.New, salt)
+	mac.Write(secret)
+	mac.Write([]byte(label))
+	return mac.Sum(nil)
+}
+
+func aeadFrom(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key[:16])
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+// deriveSuite computes the directional keys from the ECDH shared secret and
+// the handshake transcript. isClient flips the send/recv roles.
+func deriveSuite(shared, transcript []byte, version uint16, isClient bool) (*suite, error) {
+	var vb [2]byte
+	binary.BigEndian.PutUint16(vb[:], version)
+	master := hkdfLike(shared, transcript, "master"+string(vb[:]))
+	c2s := hkdfLike(master, nil, "client-to-server")
+	s2c := hkdfLike(master, nil, "server-to-client")
+	a1, err := aeadFrom(c2s)
+	if err != nil {
+		return nil, err
+	}
+	a2, err := aeadFrom(s2c)
+	if err != nil {
+		return nil, err
+	}
+	s := &suite{version: version}
+	if isClient {
+		s.sendAEAD, s.recvAEAD = a1, a2
+	} else {
+		s.sendAEAD, s.recvAEAD = a2, a1
+	}
+	return s, nil
+}
+
+func seqNonce(seq uint64) []byte {
+	n := make([]byte, 12)
+	binary.BigEndian.PutUint64(n[4:], seq)
+	return n
+}
+
+// seal produces a record: type byte, 2-byte big-endian ciphertext length,
+// ciphertext.
+func (s *suite) seal(typ uint8, plaintext []byte) ([]byte, error) {
+	if len(plaintext) >= maxPlaintextSize {
+		return nil, fmt.Errorf("ssl: plaintext of %d bytes exceeds record limit", len(plaintext))
+	}
+	aad := []byte{typ, byte(s.version >> 8), byte(s.version)}
+	ct := s.sendAEAD.Seal(nil, seqNonce(s.sendSeq), plaintext, aad)
+	s.sendSeq++
+	out := make([]byte, 3+len(ct))
+	out[0] = typ
+	binary.BigEndian.PutUint16(out[1:3], uint16(len(ct)))
+	copy(out[3:], ct)
+	return out, nil
+}
+
+// open parses and decrypts a record.
+func (s *suite) open(rec []byte) (typ uint8, plaintext []byte, err error) {
+	if len(rec) < 3 {
+		return 0, nil, fmt.Errorf("ssl: short record")
+	}
+	typ = rec[0]
+	n := int(binary.BigEndian.Uint16(rec[1:3]))
+	if len(rec) != 3+n {
+		return 0, nil, fmt.Errorf("ssl: record length mismatch: header %d, body %d", n, len(rec)-3)
+	}
+	aad := []byte{typ, byte(s.version >> 8), byte(s.version)}
+	pt, err := s.recvAEAD.Open(nil, seqNonce(s.recvSeq), rec[3:], aad)
+	if err != nil {
+		return 0, nil, fmt.Errorf("ssl: record authentication failed: %w", err)
+	}
+	s.recvSeq++
+	return typ, pt, nil
+}
+
+func newKeyPair() (*ecdh.PrivateKey, error) {
+	return ecdh.X25519().GenerateKey(rand.Reader)
+}
+
+func randomBytes(n int) []byte {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		panic(fmt.Sprintf("ssl: entropy: %v", err))
+	}
+	return b
+}

@@ -1,0 +1,92 @@
+package svm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Model serialization, the analog of LibSVM's svm_save_model /
+// svm_load_model. In the case studies, trained models are sealed by the
+// enclave (sdk.Env.Seal) before the blob leaves for untrusted storage.
+
+// modelWire is the gob wire form of a binary model.
+type modelWire struct {
+	Param    Param
+	SVs      [][]float64
+	Coefs    []float64
+	B        float64
+	PosLabel int
+	NegLabel int
+}
+
+// multiWire is the wire form of a one-vs-one multiclass model.
+type multiWire struct {
+	Labels []int
+	Pairs  []modelWire
+}
+
+// WriteTo serializes the model.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(modelWire{
+		Param: m.Param, SVs: m.SVs, Coefs: m.Coefs, B: m.B,
+		PosLabel: m.PosLabel, NegLabel: m.NegLabel,
+	})
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// ReadModel deserializes a binary model.
+func ReadModel(r io.Reader) (*Model, error) {
+	var w modelWire
+	if err := gob.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("svm: model decode: %w", err)
+	}
+	if len(w.SVs) != len(w.Coefs) {
+		return nil, fmt.Errorf("svm: corrupt model: %d SVs, %d coefficients", len(w.SVs), len(w.Coefs))
+	}
+	return &Model{
+		Param: w.Param, SVs: w.SVs, Coefs: w.Coefs, B: w.B,
+		PosLabel: w.PosLabel, NegLabel: w.NegLabel,
+	}, nil
+}
+
+// Marshal serializes a multiclass model to bytes.
+func (mm *MultiModel) Marshal() ([]byte, error) {
+	wire := multiWire{Labels: mm.Labels}
+	for _, m := range mm.Pairs {
+		wire.Pairs = append(wire.Pairs, modelWire{
+			Param: m.Param, SVs: m.SVs, Coefs: m.Coefs, B: m.B,
+			PosLabel: m.PosLabel, NegLabel: m.NegLabel,
+		})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalMulti deserializes a multiclass model.
+func UnmarshalMulti(b []byte) (*MultiModel, error) {
+	var wire multiWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("svm: model decode: %w", err)
+	}
+	mm := &MultiModel{Labels: wire.Labels}
+	for _, w := range wire.Pairs {
+		if len(w.SVs) != len(w.Coefs) {
+			return nil, fmt.Errorf("svm: corrupt model pair")
+		}
+		mm.Pairs = append(mm.Pairs, &Model{
+			Param: w.Param, SVs: w.SVs, Coefs: w.Coefs, B: w.B,
+			PosLabel: w.PosLabel, NegLabel: w.NegLabel,
+		})
+	}
+	return mm, nil
+}

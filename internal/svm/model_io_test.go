@@ -1,0 +1,65 @@
+package svm_test
+
+import (
+	"bytes"
+	"testing"
+
+	"nestedenclave/internal/svm"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	prob := twoBlobs(5, 40)
+	m, err := svm.Train(prob, svm.Param{Kernel: svm.RBF, C: 2, Gamma: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := svm.ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range prob.X {
+		if m.Predict(x) != m2.Predict(x) {
+			t.Fatal("round-tripped model predicts differently")
+		}
+		if d1, d2 := m.Decision(x), m2.Decision(x); d1 != d2 {
+			t.Fatalf("decision drift: %v vs %v", d1, d2)
+		}
+	}
+}
+
+func TestMultiModelRoundTrip(t *testing.T) {
+	prob := svm.Problem{
+		X: [][]float64{{0, 0}, {0, 1}, {5, 5}, {5, 6}, {-5, 5}, {-5, 6}},
+		Y: []int{0, 0, 1, 1, 2, 2},
+	}
+	mm, err := svm.TrainMulti(prob, svm.Param{Kernel: svm.Linear, C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := mm.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm2, err := svm.UnmarshalMulti(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range prob.X {
+		if mm.Predict(x) != mm2.Predict(x) {
+			t.Fatal("round-tripped multiclass model predicts differently")
+		}
+	}
+}
+
+func TestModelDecodeErrors(t *testing.T) {
+	if _, err := svm.ReadModel(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("garbage model decoded")
+	}
+	if _, err := svm.UnmarshalMulti([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage multiclass model decoded")
+	}
+}

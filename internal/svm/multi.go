@@ -1,0 +1,73 @@
+package svm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MultiModel is a one-vs-one multiclass classifier, the scheme LibSVM uses:
+// one binary model per unordered label pair, majority vote at prediction.
+type MultiModel struct {
+	Labels []int
+	Pairs  []*Model
+}
+
+// TrainMulti fits a classifier for any number of classes. With exactly two
+// labels it is equivalent to Train.
+func TrainMulti(prob Problem, param Param) (*MultiModel, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	labels := prob.Labels()
+	sort.Ints(labels)
+	if len(labels) < 2 {
+		return nil, fmt.Errorf("svm: need at least 2 classes, got %d", len(labels))
+	}
+	mm := &MultiModel{Labels: labels}
+	for a := 0; a < len(labels); a++ {
+		for b := a + 1; b < len(labels); b++ {
+			var sub Problem
+			for i, y := range prob.Y {
+				if y == labels[a] || y == labels[b] {
+					sub.X = append(sub.X, prob.X[i])
+					sub.Y = append(sub.Y, y)
+				}
+			}
+			m, err := Train(sub, param)
+			if err != nil {
+				return nil, fmt.Errorf("svm: pair (%d,%d): %w", labels[a], labels[b], err)
+			}
+			mm.Pairs = append(mm.Pairs, m)
+		}
+	}
+	return mm, nil
+}
+
+// Predict returns the majority-vote label for x.
+func (mm *MultiModel) Predict(x []float64) int {
+	votes := make(map[int]int)
+	for _, m := range mm.Pairs {
+		votes[m.Predict(x)]++
+	}
+	best, bestN := mm.Labels[0], -1
+	for _, lab := range mm.Labels {
+		if votes[lab] > bestN {
+			best, bestN = lab, votes[lab]
+		}
+	}
+	return best
+}
+
+// Accuracy scores the model on a labelled set.
+func (mm *MultiModel) Accuracy(X [][]float64, Y []int) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range X {
+		if mm.Predict(x) == Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(X))
+}

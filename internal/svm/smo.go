@@ -1,0 +1,153 @@
+package svm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Train fits a binary C-SVC with the simplified SMO algorithm (Platt 1998 /
+// the Stanford CS229 simplification): repeatedly pick a KKT-violating
+// multiplier alpha_i, pair it with the alpha_j of maximal |E_i - E_j|, and
+// optimize the pair analytically. Error values are cached and updated
+// incrementally; kernel rows are cached for the violators under
+// consideration.
+func Train(prob Problem, param Param) (*Model, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	labels := prob.Labels()
+	if len(labels) != 2 {
+		return nil, fmt.Errorf("svm: binary training needs exactly 2 labels, got %d (use TrainMulti)", len(labels))
+	}
+	param = param.withDefaults(len(prob.X[0]))
+	pos, neg := labels[0], labels[1]
+	n := len(prob.X)
+	y := make([]float64, n)
+	for i, lab := range prob.Y {
+		if lab == pos {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	maxIter := param.MaxIter
+	if maxIter == 0 {
+		maxIter = 100 * n
+	}
+
+	alpha := make([]float64, n)
+	var b float64
+	// E[i] = f(x_i) - y_i, maintained incrementally.
+	errs := make([]float64, n)
+	for i := range errs {
+		errs[i] = -y[i] // f = 0 initially
+	}
+
+	// Diagonal kernel values (constant, precomputed).
+	diag := make([]float64, n)
+	for i := range diag {
+		diag[i] = param.kernel(prob.X[i], prob.X[i])
+	}
+
+	iters := 0
+	passes := 0
+	for passes < param.MaxPasses && iters < maxIter {
+		changed := 0
+		for i := 0; i < n && iters < maxIter; i++ {
+			ei := errs[i]
+			// KKT check for alpha_i.
+			if !((y[i]*ei < -param.Tol && alpha[i] < param.C) ||
+				(y[i]*ei > param.Tol && alpha[i] > 0)) {
+				continue
+			}
+			// Second choice: maximize |E_i - E_j|.
+			j := -1
+			var best float64 = -1
+			for k := 0; k < n; k++ {
+				if k == i {
+					continue
+				}
+				if d := math.Abs(ei - errs[k]); d > best {
+					best = d
+					j = k
+				}
+			}
+			if j < 0 {
+				continue
+			}
+			iters++
+			if optimizePair(prob, param, y, alpha, errs, diag, &b, i, j) {
+				changed++
+			}
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+
+	m := &Model{Param: param, B: b, PosLabel: pos, NegLabel: neg, Iters: iters}
+	for i := range alpha {
+		if alpha[i] > 1e-12 {
+			m.SVs = append(m.SVs, prob.X[i])
+			m.Coefs = append(m.Coefs, alpha[i]*y[i])
+		}
+	}
+	return m, nil
+}
+
+// optimizePair performs the analytic two-variable update; returns whether
+// the multipliers moved.
+func optimizePair(prob Problem, param Param, y, alpha, errs, diag []float64, b *float64, i, j int) bool {
+	ei, ej := errs[i], errs[j]
+	ai, aj := alpha[i], alpha[j]
+
+	var lo, hi float64
+	if y[i] != y[j] {
+		lo = math.Max(0, aj-ai)
+		hi = math.Min(param.C, param.C+aj-ai)
+	} else {
+		lo = math.Max(0, ai+aj-param.C)
+		hi = math.Min(param.C, ai+aj)
+	}
+	if hi-lo < 1e-12 {
+		return false
+	}
+	kij := param.kernel(prob.X[i], prob.X[j])
+	eta := diag[i] + diag[j] - 2*kij
+	if eta <= 1e-12 {
+		return false
+	}
+	ajNew := aj + y[j]*(ei-ej)/eta
+	ajNew = math.Min(math.Max(ajNew, lo), hi)
+	if math.Abs(ajNew-aj) < 1e-7 {
+		return false
+	}
+	aiNew := ai + y[i]*y[j]*(aj-ajNew)
+
+	// Threshold update (Platt's b1/b2 rule).
+	bOld := *b
+	b1 := bOld - ei - y[i]*(aiNew-ai)*diag[i] - y[j]*(ajNew-aj)*kij
+	b2 := bOld - ej - y[i]*(aiNew-ai)*kij - y[j]*(ajNew-aj)*diag[j]
+	switch {
+	case aiNew > 0 && aiNew < param.C:
+		*b = b1
+	case ajNew > 0 && ajNew < param.C:
+		*b = b2
+	default:
+		*b = (b1 + b2) / 2
+	}
+
+	di := y[i] * (aiNew - ai)
+	dj := y[j] * (ajNew - aj)
+	alpha[i], alpha[j] = aiNew, ajNew
+	// Incremental error update: f gained di*K(x_i,·) + dj*K(x_j,·) plus the
+	// threshold delta, uniformly (E_k = f(x_k) - y_k and f includes b).
+	db := *b - bOld
+	for k := range errs {
+		errs[k] += di*param.kernel(prob.X[i], prob.X[k]) +
+			dj*param.kernel(prob.X[j], prob.X[k]) + db
+	}
+	return true
+}

@@ -1,0 +1,148 @@
+// Package svm is the LibSVM stand-in for the fine-grained data-protection
+// case study (paper §VI-B): C-support-vector classification with an SMO
+// solver, linear and RBF kernels, and one-vs-one multiclass voting — the
+// train and predict operations the paper runs inside the shared outer
+// enclave ("svm-train" and "svm-predict" in Table III).
+package svm
+
+import (
+	"fmt"
+	"math"
+)
+
+// KernelKind selects the kernel function.
+type KernelKind int
+
+const (
+	// Linear is K(a,b) = a·b.
+	Linear KernelKind = iota
+	// RBF is K(a,b) = exp(-gamma * |a-b|^2).
+	RBF
+)
+
+// Param configures training.
+type Param struct {
+	Kernel KernelKind
+	// C is the soft-margin penalty. Must be positive.
+	C float64
+	// Gamma is the RBF width (ignored for Linear). Zero means 1/#features.
+	Gamma float64
+	// Tol is the KKT violation tolerance. Zero means 1e-3.
+	Tol float64
+	// MaxPasses bounds SMO sweeps without progress. Zero means 8.
+	MaxPasses int
+	// MaxIter hard-bounds total SMO iterations. Zero means 100*n.
+	MaxIter int
+}
+
+func (p Param) withDefaults(nFeatures int) Param {
+	if p.C == 0 {
+		p.C = 1
+	}
+	if p.Gamma == 0 && nFeatures > 0 {
+		p.Gamma = 1 / float64(nFeatures)
+	}
+	if p.Tol == 0 {
+		p.Tol = 1e-3
+	}
+	if p.MaxPasses == 0 {
+		p.MaxPasses = 8
+	}
+	return p
+}
+
+// Problem is a labelled training set. Labels may be arbitrary integers;
+// binary training additionally requires exactly two distinct labels.
+type Problem struct {
+	X [][]float64
+	Y []int
+}
+
+// Validate checks shape consistency.
+func (p Problem) Validate() error {
+	if len(p.X) == 0 {
+		return fmt.Errorf("svm: empty problem")
+	}
+	if len(p.X) != len(p.Y) {
+		return fmt.Errorf("svm: %d samples but %d labels", len(p.X), len(p.Y))
+	}
+	w := len(p.X[0])
+	for i, x := range p.X {
+		if len(x) != w {
+			return fmt.Errorf("svm: sample %d has %d features, want %d", i, len(x), w)
+		}
+	}
+	return nil
+}
+
+// Labels returns the distinct labels in order of first appearance.
+func (p Problem) Labels() []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, y := range p.Y {
+		if !seen[y] {
+			seen[y] = true
+			out = append(out, y)
+		}
+	}
+	return out
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func (p Param) kernel(a, b []float64) float64 {
+	switch p.Kernel {
+	case RBF:
+		return math.Exp(-p.Gamma * sqDist(a, b))
+	default:
+		return dot(a, b)
+	}
+}
+
+// Model is a trained binary classifier: sign(sum_i coef_i K(sv_i, x) + b)
+// maps to the two labels.
+type Model struct {
+	Param    Param
+	SVs      [][]float64
+	Coefs    []float64 // alpha_i * y_i for each support vector
+	B        float64
+	PosLabel int
+	NegLabel int
+	// Iters records the SMO iterations used (for reporting).
+	Iters int
+}
+
+// Decision returns the raw decision value for x.
+func (m *Model) Decision(x []float64) float64 {
+	s := m.B
+	for i, sv := range m.SVs {
+		s += m.Coefs[i] * m.Param.kernel(sv, x)
+	}
+	return s
+}
+
+// Predict returns the predicted label for x.
+func (m *Model) Predict(x []float64) int {
+	if m.Decision(x) >= 0 {
+		return m.PosLabel
+	}
+	return m.NegLabel
+}
+
+// NumSVs returns the number of support vectors.
+func (m *Model) NumSVs() int { return len(m.SVs) }

@@ -1,0 +1,179 @@
+package svm_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nestedenclave/internal/datasets"
+	"nestedenclave/internal/svm"
+)
+
+func blob(rng *rand.Rand, cx, cy float64, n int, label int) ([][]float64, []int) {
+	X := make([][]float64, n)
+	Y := make([]int, n)
+	for i := range X {
+		X[i] = []float64{cx + rng.NormFloat64()*0.5, cy + rng.NormFloat64()*0.5}
+		Y[i] = label
+	}
+	return X, Y
+}
+
+func twoBlobs(seed int64, n int) svm.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	x1, y1 := blob(rng, 2, 2, n, 1)
+	x2, y2 := blob(rng, -2, -2, n, -1)
+	return svm.Problem{X: append(x1, x2...), Y: append(y1, y2...)}
+}
+
+func TestLinearSeparable(t *testing.T) {
+	prob := twoBlobs(1, 60)
+	m, err := svm.Train(prob, svm.Param{Kernel: svm.Linear, C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range prob.X {
+		if m.Predict(x) == prob.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(prob.X)); acc < 0.95 {
+		t.Fatalf("linear accuracy %.2f on separable blobs", acc)
+	}
+	if m.NumSVs() == 0 || m.NumSVs() == len(prob.X) {
+		t.Fatalf("degenerate support vector count %d of %d", m.NumSVs(), len(prob.X))
+	}
+}
+
+func TestRBFNonLinear(t *testing.T) {
+	// XOR-ish pattern: linearly inseparable, RBF must crack it.
+	rng := rand.New(rand.NewSource(7))
+	var X [][]float64
+	var Y []int
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2}
+		y := 1
+		if (x[0] > 0) != (x[1] > 0) {
+			y = -1
+		}
+		X = append(X, x)
+		Y = append(Y, y)
+	}
+	prob := svm.Problem{X: X, Y: Y}
+	mLin, err := svm.Train(prob, svm.Param{Kernel: svm.Linear, C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mRBF, err := svm.Train(prob, svm.Param{Kernel: svm.RBF, C: 10, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accOf := func(m *svm.Model) float64 {
+		c := 0
+		for i, x := range X {
+			if m.Predict(x) == Y[i] {
+				c++
+			}
+		}
+		return float64(c) / float64(len(X))
+	}
+	if acc := accOf(mRBF); acc < 0.9 {
+		t.Fatalf("RBF accuracy %.2f on XOR", acc)
+	}
+	if accOf(mRBF) <= accOf(mLin) {
+		t.Fatalf("RBF (%.2f) did not beat linear (%.2f) on XOR", accOf(mRBF), accOf(mLin))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := svm.Train(svm.Problem{}, svm.Param{}); err == nil {
+		t.Fatal("empty problem accepted")
+	}
+	if _, err := svm.Train(svm.Problem{X: [][]float64{{1}}, Y: []int{1, 2}}, svm.Param{}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if _, err := svm.Train(svm.Problem{X: [][]float64{{1}, {2, 3}}, Y: []int{1, 2}}, svm.Param{}); err == nil {
+		t.Fatal("ragged features accepted")
+	}
+	// One class only.
+	if _, err := svm.Train(svm.Problem{X: [][]float64{{1}, {2}}, Y: []int{1, 1}}, svm.Param{}); err == nil {
+		t.Fatal("single-class problem accepted by binary trainer")
+	}
+	// Three classes rejected by the binary trainer.
+	if _, err := svm.Train(svm.Problem{X: [][]float64{{1}, {2}, {3}}, Y: []int{1, 2, 3}}, svm.Param{}); err == nil {
+		t.Fatal("3-class problem accepted by binary trainer")
+	}
+	if _, err := svm.TrainMulti(svm.Problem{X: [][]float64{{1}}, Y: []int{1}}, svm.Param{}); err == nil {
+		t.Fatal("single-class problem accepted by multi trainer")
+	}
+}
+
+func TestMulticlass(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var X [][]float64
+	var Y []int
+	centres := [][2]float64{{3, 0}, {-3, 3}, {-3, -3}}
+	for c, ctr := range centres {
+		xs, _ := blob(rng, ctr[0], ctr[1], 50, c)
+		X = append(X, xs...)
+		for range xs {
+			Y = append(Y, c)
+		}
+	}
+	mm, err := svm.TrainMulti(svm.Problem{X: X, Y: Y}, svm.Param{Kernel: svm.Linear, C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mm.Pairs) != 3 { // C(3,2)
+		t.Fatalf("pair count %d", len(mm.Pairs))
+	}
+	if acc := mm.Accuracy(X, Y); acc < 0.95 {
+		t.Fatalf("multiclass accuracy %.2f", acc)
+	}
+}
+
+func TestTableVDatasetsTrainable(t *testing.T) {
+	for _, spec := range datasets.TableV() {
+		d := datasets.Generate(spec.Scale(0.01), 42)
+		mm, err := svm.TrainMulti(
+			svm.Problem{X: d.TrainX, Y: d.TrainY},
+			svm.Param{Kernel: svm.RBF, C: 4},
+		)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if acc := mm.Accuracy(d.TestX, d.TestY); acc < 0.7 {
+			t.Errorf("%s: accuracy %.2f on synthetic blobs", spec.Name, acc)
+		}
+	}
+}
+
+// Property: model coefficients respect the box constraint |coef| <= C and
+// prediction is sign-consistent with the decision value.
+func TestBoxConstraintProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		prob := twoBlobs(seed, 20)
+		m, err := svm.Train(prob, svm.Param{Kernel: svm.Linear, C: 2})
+		if err != nil {
+			return false
+		}
+		for i, co := range m.Coefs {
+			if co < -2-1e-9 || co > 2+1e-9 {
+				return false
+			}
+			_ = i
+		}
+		for _, x := range prob.X {
+			d := m.Decision(x)
+			p := m.Predict(x)
+			if (d >= 0 && p != m.PosLabel) || (d < 0 && p != m.NegLabel) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,55 @@
+package talloc
+
+import "testing"
+
+func TestExtendGrowsCapacity(t *testing.T) {
+	h := New(0x1000, 64)
+	if _, err := h.Alloc(128); err == nil {
+		t.Fatal("oversized alloc before extend")
+	}
+	// Discontiguous extension (past a gap, as with reserved ELRANGE pages
+	// beyond the TCS region).
+	if err := h.Extend(0x3000, 256); err != nil {
+		t.Fatal(err)
+	}
+	a, err := h.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(a) < 0x3000 || uint64(a)+128 > 0x3000+256 {
+		t.Fatalf("allocation outside extension: %#x", uint64(a))
+	}
+	if h.Size() != 64+256 {
+		t.Fatalf("capacity %d", h.Size())
+	}
+	if h.FreeBytes()+h.LiveBytes() != h.Size() {
+		t.Fatal("accounting broken after extend")
+	}
+}
+
+func TestExtendContiguousCoalesces(t *testing.T) {
+	h := New(0x1000, 64)
+	if err := h.Extend(0x1040, 64); err != nil {
+		t.Fatal(err)
+	}
+	// The two extents coalesce: one 128-byte allocation fits.
+	if _, err := h.Alloc(128); err != nil {
+		t.Fatalf("coalesced alloc: %v", err)
+	}
+}
+
+func TestExtendRejections(t *testing.T) {
+	h := New(0x1000, 64)
+	if err := h.Extend(0x2000, 0); err == nil {
+		t.Fatal("empty extension accepted")
+	}
+	// Overlapping the free pool.
+	if err := h.Extend(0x1020, 64); err == nil {
+		t.Fatal("overlap with free extent accepted")
+	}
+	// Overlapping a live allocation.
+	a, _ := h.Alloc(64) // heap now fully allocated, free pool empty
+	if err := h.Extend(a, 32); err == nil {
+		t.Fatal("overlap with live allocation accepted")
+	}
+}

@@ -1,0 +1,169 @@
+package talloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nestedenclave/internal/isa"
+)
+
+func TestAllocFree(t *testing.T) {
+	h := New(0x1000, 0x1000)
+	a, err := h.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a < 0x1000 || uint64(a) >= 0x2000 {
+		t.Fatalf("allocation outside heap: %#x", uint64(a))
+	}
+	n, ok := h.SizeOf(a)
+	if !ok || n != 104 { // rounded to 8
+		t.Fatalf("SizeOf = %d, %v", n, ok)
+	}
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(a); err == nil {
+		t.Fatal("double free accepted")
+	}
+	if _, ok := h.SizeOf(a); ok {
+		t.Fatal("freed allocation still live")
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	// First-fit from a fresh heap allocates consecutively — the property
+	// the Heartbleed over-read depends on.
+	h := New(0, 0x1000)
+	a, _ := h.Alloc(64)
+	b, _ := h.Alloc(64)
+	if b != a+64 {
+		t.Fatalf("allocations not adjacent: %#x then %#x", uint64(a), uint64(b))
+	}
+}
+
+func TestFreeReuseFirstFit(t *testing.T) {
+	h := New(0, 0x1000)
+	a, _ := h.Alloc(64)
+	if _, err := h.Alloc(64); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := h.Alloc(32)
+	if c != a {
+		t.Fatalf("freed extent not reused first-fit: got %#x, want %#x", uint64(c), uint64(a))
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	h := New(0, 256)
+	a, _ := h.Alloc(64)
+	b, _ := h.Alloc(64)
+	c, _ := h.Alloc(64)
+	_ = c
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	// a and b coalesce into one 128-byte extent; a 128-byte alloc must fit.
+	d, err := h.Alloc(128)
+	if err != nil {
+		t.Fatalf("coalescing failed: %v", err)
+	}
+	if d != a {
+		t.Fatalf("coalesced extent at %#x, want %#x", uint64(d), uint64(a))
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	h := New(0, 64)
+	if _, err := h.Alloc(65); err == nil {
+		t.Fatal("oversized allocation accepted")
+	}
+	if _, err := h.Alloc(64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Alloc(1); err == nil {
+		t.Fatal("allocation from empty heap accepted")
+	}
+}
+
+func TestInvalidArgs(t *testing.T) {
+	h := New(0, 64)
+	if _, err := h.Alloc(0); err == nil {
+		t.Fatal("zero alloc accepted")
+	}
+	if _, err := h.Alloc(-5); err == nil {
+		t.Fatal("negative alloc accepted")
+	}
+	if err := h.Free(0x999); err == nil {
+		t.Fatal("free of wild pointer accepted")
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	h := New(0x100, 0x100)
+	if h.FreeBytes() != 0x100 || h.LiveBytes() != 0 {
+		t.Fatal("fresh heap accounting wrong")
+	}
+	a, _ := h.Alloc(16)
+	if h.LiveBytes() != 16 || h.FreeBytes() != 0x100-16 {
+		t.Fatalf("accounting after alloc: live=%d free=%d", h.LiveBytes(), h.FreeBytes())
+	}
+	_ = h.Free(a)
+	if h.LiveBytes() != 0 || h.FreeBytes() != 0x100 {
+		t.Fatal("accounting after free wrong")
+	}
+}
+
+// Property: under any alloc/free sequence, live allocations never overlap,
+// all stay in bounds, and live+free bytes always equal the heap size.
+func TestInvariantProperty(t *testing.T) {
+	type op struct {
+		Alloc bool
+		Size  uint8
+	}
+	f := func(ops []op) bool {
+		h := New(0x4000, 0x800)
+		var live []isa.VAddr
+		for _, o := range ops {
+			if o.Alloc || len(live) == 0 {
+				a, err := h.Alloc(int(o.Size%128) + 1)
+				if err != nil {
+					continue
+				}
+				live = append(live, a)
+			} else {
+				if err := h.Free(live[0]); err != nil {
+					return false
+				}
+				live = live[1:]
+			}
+			if h.LiveBytes()+h.FreeBytes() != h.Size() {
+				return false
+			}
+			// Overlap check.
+			for i := range live {
+				ni, _ := h.SizeOf(live[i])
+				if uint64(live[i]) < uint64(h.Base()) ||
+					uint64(live[i])+ni > uint64(h.Base())+h.Size() {
+					return false
+				}
+				for j := i + 1; j < len(live); j++ {
+					nj, _ := h.SizeOf(live[j])
+					if uint64(live[i]) < uint64(live[j])+nj && uint64(live[j]) < uint64(live[i])+ni {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

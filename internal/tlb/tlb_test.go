@@ -1,0 +1,76 @@
+package tlb
+
+import (
+	"testing"
+
+	"nestedenclave/internal/isa"
+	"nestedenclave/internal/trace"
+)
+
+func TestLookupInsertFlush(t *testing.T) {
+	rec := &trace.Recorder{}
+	tb := New(rec)
+	if _, ok := tb.Lookup(0x1234); ok {
+		t.Fatal("empty TLB hit")
+	}
+	tb.Insert(Entry{VPN: 1, PPN: 99, Perms: isa.PermRW})
+	e, ok := tb.Lookup(0x1abc) // same VPN 1
+	if !ok || e.PPN != 99 {
+		t.Fatalf("lookup after insert: %+v ok=%v", e, ok)
+	}
+	if rec.Get(trace.EvTLBHit) != 1 || rec.Get(trace.EvTLBMiss) != 1 {
+		t.Fatalf("hit/miss counters: %d/%d", rec.Get(trace.EvTLBHit), rec.Get(trace.EvTLBMiss))
+	}
+	tb.FlushAll()
+	if tb.Len() != 0 {
+		t.Fatal("flush left entries")
+	}
+	if rec.Get(trace.EvTLBFlush) != 1 {
+		t.Fatal("flush not counted")
+	}
+}
+
+func TestFlushVPN(t *testing.T) {
+	tb := New(nil)
+	tb.Insert(Entry{VPN: 1, PPN: 10})
+	tb.Insert(Entry{VPN: 2, PPN: 20})
+	tb.FlushVPN(1)
+	if _, ok := tb.Lookup(isa.VAddr(1 << isa.PageShift)); ok {
+		t.Fatal("flushed entry survived")
+	}
+	if _, ok := tb.Lookup(isa.VAddr(2 << isa.PageShift)); !ok {
+		t.Fatal("unrelated entry lost")
+	}
+}
+
+func TestInsertOverwritesSameVPN(t *testing.T) {
+	tb := New(nil)
+	tb.Insert(Entry{VPN: 5, PPN: 1})
+	tb.Insert(Entry{VPN: 5, PPN: 2})
+	e, _ := tb.Lookup(isa.VAddr(5 << isa.PageShift))
+	if e.PPN != 2 {
+		t.Fatalf("stale entry after overwrite: PPN=%d", e.PPN)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("duplicate VPN entries: %d", tb.Len())
+	}
+}
+
+func TestEntriesSnapshot(t *testing.T) {
+	tb := New(nil)
+	tb.Insert(Entry{VPN: 1, PPN: 10, FilledInEnclave: true, FilledEID: 7})
+	tb.Insert(Entry{VPN: 2, PPN: 20})
+	es := tb.Entries()
+	if len(es) != 2 {
+		t.Fatalf("snapshot length %d", len(es))
+	}
+	found := false
+	for _, e := range es {
+		if e.VPN == 1 && e.FilledEID == 7 && e.FilledInEnclave {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("audit tags lost in snapshot")
+	}
+}

@@ -1,0 +1,256 @@
+// Package trace provides the event counters and the simulated cycle clock
+// shared by the machine simulator and the benchmark harness.
+//
+// Counters record architectural events (enclave transitions, TLB activity,
+// MEE line operations, faults) so experiments can report the same series the
+// paper plots — e.g. Figure 7 overlays the number of ecalls/ocalls on the
+// echo-server throughput. The clock accumulates the cost model from package
+// isa-level constants declared here, giving a deterministic "simulated
+// cycles" measure alongside wall-clock timing.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Event enumerates the counted architectural events.
+type Event int
+
+const (
+	// Transitions between protection domains.
+	EvECall  Event = iota // untrusted -> enclave (EENTER path)
+	EvOCall               // enclave -> untrusted service call (EEXIT path)
+	EvNECall              // outer -> inner (NEENTER path)
+	EvNOCall              // inner -> outer (NEEXIT path)
+	EvEENTER
+	EvEEXIT
+	EvNEENTER
+	EvNEEXIT
+	EvAEX
+
+	// Address translation machinery.
+	EvTLBHit
+	EvTLBMiss
+	EvTLBFlush
+	EvPageWalk
+	EvValidateStep   // one step of the Figure-6 validation flow
+	EvNestedValidate // accesses approved via the outer-enclave branch
+
+	// Memory protection engine.
+	EvMEEEncrypt // cacheline encrypted on writeback to PRM
+	EvMEEDecrypt // cacheline decrypted+verified on fetch from PRM
+	EvLLCHit
+	EvLLCMiss
+
+	// Faults.
+	EvFaultGP
+	EvFaultPF
+	EvFaultMC
+
+	// Paging.
+	EvEWB // EPC page evicted
+	EvELD // EPC page reloaded
+	EvIPI // inter-processor interrupt (TLB shootdown)
+
+	numEvents
+)
+
+var eventNames = [...]string{
+	EvECall:          "ecall",
+	EvOCall:          "ocall",
+	EvNECall:         "n_ecall",
+	EvNOCall:         "n_ocall",
+	EvEENTER:         "EENTER",
+	EvEEXIT:          "EEXIT",
+	EvNEENTER:        "NEENTER",
+	EvNEEXIT:         "NEEXIT",
+	EvAEX:            "AEX",
+	EvTLBHit:         "tlb_hit",
+	EvTLBMiss:        "tlb_miss",
+	EvTLBFlush:       "tlb_flush",
+	EvPageWalk:       "page_walk",
+	EvValidateStep:   "validate_step",
+	EvNestedValidate: "nested_validate",
+	EvMEEEncrypt:     "mee_encrypt",
+	EvMEEDecrypt:     "mee_decrypt",
+	EvLLCHit:         "llc_hit",
+	EvLLCMiss:        "llc_miss",
+	EvFaultGP:        "fault_gp",
+	EvFaultPF:        "fault_pf",
+	EvFaultMC:        "fault_mc",
+	EvEWB:            "ewb",
+	EvELD:            "eld",
+	EvIPI:            "ipi",
+}
+
+func (e Event) String() string {
+	if int(e) < len(eventNames) && eventNames[e] != "" {
+		return eventNames[e]
+	}
+	return fmt.Sprintf("event(%d)", int(e))
+}
+
+// Cycle costs of modelled operations. The values are calibrated so that the
+// composed transition costs land in the regime the paper's Table II reports
+// for real hardware (an ecall around 3.45 µs on a ~4 GHz part, i.e. ~14 k
+// cycles dominated by the EENTER/EEXIT pair and TLB refill), while the
+// emulated path is measured in wall-clock like the paper's SDK simulation
+// mode. The absolute values matter less than their ratios; every experiment
+// reports normalized results.
+const (
+	CostTLBHit       = 1
+	CostPageWalk     = 60
+	CostValidateStep = 4
+	CostTLBFlush     = 120
+	// EENTER+EEXIT sum to ~13.8k cycles: 3.45 µs at the i7-7700's 4 GHz,
+	// the paper's measured hardware ecall latency (Table II). The resume
+	// flavour of EENTER (ocall return) skips TCS claiming and argument
+	// staging, putting the ocall round trip at ~12.5k cycles = 3.13 µs.
+	CostEENTER       = 7300
+	CostEENTERResume = 6000
+	CostEEXIT        = 6500
+	// NEENTER/NEEXIT stay cheaper than the ecall pair: direct transition,
+	// no untrusted-runtime dispatch.
+	CostNEENTER    = 6200
+	CostNEEXIT     = 5400
+	CostAEX        = 7800
+	CostMEELine    = 40 // AES-CTR + tree walk per 64-B line
+	CostLLCHit     = 30
+	CostDRAMAccess = 170
+	CostIPI        = 2500
+
+	// Software AES-GCM, as used by the monolithic inter-enclave channel
+	// (Figure 11's baseline): a fixed per-call cost (IV/tag handling,
+	// buffer management, call overhead inside the enclave crypto library)
+	// plus a per-16-byte-block cost. AES-NI-era figures.
+	CostGCMFixed    = 1500
+	CostGCMPerBlock = 40
+)
+
+// GCMCycles returns the modelled cycle cost of one software AES-GCM
+// operation (seal or open) over n bytes.
+func GCMCycles(n int) int64 {
+	blocks := int64((n + 15) / 16)
+	return CostGCMFixed + blocks*CostGCMPerBlock
+}
+
+// Counters is a set of event counters safe for concurrent use.
+type Counters struct {
+	c [numEvents]atomic.Int64
+}
+
+// Inc adds one to the event's counter.
+func (t *Counters) Inc(e Event) { t.c[e].Add(1) }
+
+// Add adds n to the event's counter.
+func (t *Counters) Add(e Event, n int64) { t.c[e].Add(n) }
+
+// Get returns the event's current count.
+func (t *Counters) Get(e Event) int64 { return t.c[e].Load() }
+
+// Reset zeroes every counter.
+func (t *Counters) Reset() {
+	for i := range t.c {
+		t.c[i].Store(0)
+	}
+}
+
+// Snapshot returns a copy of all non-zero counters keyed by event name.
+func (t *Counters) Snapshot() map[string]int64 {
+	out := make(map[string]int64)
+	for i := range t.c {
+		if v := t.c[i].Load(); v != 0 {
+			out[Event(i).String()] = v
+		}
+	}
+	return out
+}
+
+// Diff returns counters accumulated since the snapshot prev.
+func (t *Counters) Diff(prev map[string]int64) map[string]int64 {
+	cur := t.Snapshot()
+	out := make(map[string]int64)
+	for k, v := range cur {
+		if d := v - prev[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	for k, v := range prev {
+		if _, ok := cur[k]; !ok && v != 0 {
+			out[k] = -v
+		}
+	}
+	return out
+}
+
+func (t *Counters) String() string {
+	snap := t.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, snap[k])
+	}
+	return b.String()
+}
+
+// Clock accumulates simulated cycles. It is safe for concurrent use.
+type Clock struct {
+	cycles atomic.Int64
+}
+
+// Advance adds n cycles.
+func (c *Clock) Advance(n int64) { c.cycles.Add(n) }
+
+// Cycles returns the accumulated cycle count.
+func (c *Clock) Cycles() int64 { return c.cycles.Load() }
+
+// Reset zeroes the clock.
+func (c *Clock) Reset() { c.cycles.Store(0) }
+
+// Recorder bundles counters and a clock; the machine carries one and every
+// layer charges events and cycles against it.
+type Recorder struct {
+	Counters
+	Clock
+}
+
+// Charge records the event and advances the clock by the given cost.
+func (r *Recorder) Charge(e Event, cycles int64) {
+	r.Inc(e)
+	r.Advance(cycles)
+}
+
+// Region is a named measurement scope used by the bench harness to attribute
+// counter deltas to workload phases.
+type Region struct {
+	Name  string
+	Start map[string]int64
+	rec   *Recorder
+}
+
+var regionMu sync.Mutex
+
+// BeginRegion snapshots the recorder for later Diff.
+func (r *Recorder) BeginRegion(name string) *Region {
+	regionMu.Lock()
+	defer regionMu.Unlock()
+	return &Region{Name: name, Start: r.Counters.Snapshot(), rec: r}
+}
+
+// End returns the counter deltas since the region began.
+func (reg *Region) End() map[string]int64 {
+	regionMu.Lock()
+	defer regionMu.Unlock()
+	return reg.rec.Counters.Diff(reg.Start)
+}

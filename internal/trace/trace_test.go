@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounters(t *testing.T) {
+	var c Counters
+	c.Inc(EvECall)
+	c.Add(EvOCall, 3)
+	if c.Get(EvECall) != 1 || c.Get(EvOCall) != 3 {
+		t.Fatalf("counts: %d, %d", c.Get(EvECall), c.Get(EvOCall))
+	}
+	snap := c.Snapshot()
+	if snap["ecall"] != 1 || snap["ocall"] != 3 {
+		t.Fatalf("snapshot: %v", snap)
+	}
+	if len(snap) != 2 {
+		t.Fatalf("snapshot carries zero counters: %v", snap)
+	}
+	c.Reset()
+	if c.Get(EvECall) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	var c Counters
+	c.Inc(EvECall)
+	before := c.Snapshot()
+	c.Add(EvECall, 4)
+	c.Inc(EvNECall)
+	d := c.Diff(before)
+	if d["ecall"] != 4 || d["n_ecall"] != 1 {
+		t.Fatalf("diff: %v", d)
+	}
+	if _, ok := d["ocall"]; ok {
+		t.Fatal("diff includes untouched counter")
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	c.Advance(100)
+	c.Advance(23)
+	if c.Cycles() != 123 {
+		t.Fatalf("cycles = %d", c.Cycles())
+	}
+	c.Reset()
+	if c.Cycles() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestRecorderCharge(t *testing.T) {
+	var r Recorder
+	r.Charge(EvEENTER, CostEENTER)
+	if r.Get(EvEENTER) != 1 || r.Cycles() != CostEENTER {
+		t.Fatalf("charge: count=%d cycles=%d", r.Get(EvEENTER), r.Cycles())
+	}
+}
+
+func TestRegion(t *testing.T) {
+	var r Recorder
+	r.Inc(EvECall)
+	reg := r.BeginRegion("work")
+	r.Add(EvECall, 2)
+	r.Inc(EvTLBFlush)
+	d := reg.End()
+	if d["ecall"] != 2 || d["tlb_flush"] != 1 {
+		t.Fatalf("region diff: %v", d)
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	var r Recorder
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Charge(EvTLBMiss, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Get(EvTLBMiss) != 8000 || r.Cycles() != 8000 {
+		t.Fatalf("concurrent: %d / %d", r.Get(EvTLBMiss), r.Cycles())
+	}
+}
+
+func TestStringers(t *testing.T) {
+	var c Counters
+	c.Inc(EvNEENTER)
+	c.Inc(EvAEX)
+	s := c.String()
+	if !strings.Contains(s, "NEENTER=1") || !strings.Contains(s, "AEX=1") {
+		t.Fatalf("counter string: %q", s)
+	}
+	if Event(9999).String() == "" {
+		t.Fatal("unknown event stringer empty")
+	}
+	for e := Event(0); e < numEvents; e++ {
+		if strings.HasPrefix(e.String(), "event(") {
+			t.Errorf("event %d has no name", e)
+		}
+	}
+}

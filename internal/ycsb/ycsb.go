@@ -1,0 +1,131 @@
+// Package ycsb generates YCSB-style key-value workloads over the SQL engine,
+// matching the paper's Table VI setup: 10 000 queries with a uniform random
+// request distribution across four operation mixes (100% INSERT, 50/50
+// SELECT/UPDATE, 95/5 SELECT/UPDATE, 100% SELECT).
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nestedenclave/internal/sqldb"
+)
+
+// Mix is an operation mixture in percent.
+type Mix struct {
+	Name    string
+	InsertP int
+	SelectP int
+	UpdateP int
+	// ScanP generates short range scans (YCSB workload E's operation):
+	// SELECT ... WHERE key >= k AND key <= k+len ORDER BY key.
+	ScanP int
+}
+
+// WorkloadE is YCSB's scan-heavy mix (95% short scans, 5% inserts); not
+// part of the paper's Table VI but useful for exercising the engine's
+// B-tree range path under the enclave service.
+func WorkloadE() Mix {
+	return Mix{Name: "95% SCAN & 5% INSERT", ScanP: 95, InsertP: 5}
+}
+
+// TableVIMixes lists the paper's four workloads in table order.
+func TableVIMixes() []Mix {
+	return []Mix{
+		{Name: "100% INSERT", InsertP: 100},
+		{Name: "50% SELECT & 50% UPDATE", SelectP: 50, UpdateP: 50},
+		{Name: "95% SELECT & 5% UPDATE", SelectP: 95, UpdateP: 5},
+		{Name: "100% SELECT", SelectP: 100},
+	}
+}
+
+// Config sizes a workload.
+type Config struct {
+	// Records is the number of pre-loaded rows (the YCSB "record count").
+	Records int
+	// Operations is the number of generated queries.
+	Operations int
+	// FieldLen is the payload string length.
+	FieldLen int
+	// Seed fixes the uniform random key sequence.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's 10 000-query runs at a small record set.
+func DefaultConfig() Config {
+	return Config{Records: 1000, Operations: 10000, FieldLen: 100, Seed: 1}
+}
+
+// Workload is a generated query sequence.
+type Workload struct {
+	Mix     Mix
+	Setup   []string // CREATE + initial LOADs
+	Queries []string
+}
+
+// Generate builds the workload for a mix. Keys are drawn uniformly at
+// random (the paper's distribution). INSERT workloads use fresh keys above
+// the preloaded range so they never conflict.
+func Generate(mix Mix, cfg Config) *Workload {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	payload := func() string {
+		b := make([]byte, cfg.FieldLen)
+		for i := range b {
+			b[i] = 'a' + byte(rng.Intn(26))
+		}
+		return string(b)
+	}
+	w := &Workload{Mix: mix}
+	w.Setup = append(w.Setup, "CREATE TABLE usertable (ycsb_key INT PRIMARY KEY, field0 TEXT)")
+	for i := 0; i < cfg.Records; i++ {
+		w.Setup = append(w.Setup,
+			fmt.Sprintf("INSERT INTO usertable VALUES (%d, '%s')", i, payload()))
+	}
+	nextInsert := cfg.Records
+	for i := 0; i < cfg.Operations; i++ {
+		p := rng.Intn(100)
+		switch {
+		case p < mix.InsertP:
+			w.Queries = append(w.Queries,
+				fmt.Sprintf("INSERT INTO usertable VALUES (%d, '%s')", nextInsert, payload()))
+			nextInsert++
+		case p < mix.InsertP+mix.SelectP:
+			key := rng.Intn(cfg.Records)
+			w.Queries = append(w.Queries,
+				fmt.Sprintf("SELECT field0 FROM usertable WHERE ycsb_key = %d", key))
+		case p < mix.InsertP+mix.SelectP+mix.ScanP:
+			key := rng.Intn(cfg.Records)
+			span := rng.Intn(20) + 1
+			w.Queries = append(w.Queries,
+				fmt.Sprintf("SELECT ycsb_key, field0 FROM usertable WHERE ycsb_key >= %d AND ycsb_key <= %d ORDER BY ycsb_key",
+					key, key+span))
+		default:
+			key := rng.Intn(cfg.Records)
+			w.Queries = append(w.Queries,
+				fmt.Sprintf("UPDATE usertable SET field0 = '%s' WHERE ycsb_key = %d", payload(), key))
+		}
+	}
+	return w
+}
+
+// Load executes the setup statements on a fresh database.
+func (w *Workload) Load(db *sqldb.DB) error {
+	for _, q := range w.Setup {
+		if _, err := db.Exec(q); err != nil {
+			return fmt.Errorf("ycsb: setup: %w", err)
+		}
+	}
+	return nil
+}
+
+// Run executes all queries, returning the number that succeeded.
+func (w *Workload) Run(db *sqldb.DB) (int, error) {
+	n := 0
+	for _, q := range w.Queries {
+		if _, err := db.Exec(q); err != nil {
+			return n, fmt.Errorf("ycsb: query %q: %w", q, err)
+		}
+		n++
+	}
+	return n, nil
+}

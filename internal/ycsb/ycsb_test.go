@@ -1,0 +1,105 @@
+package ycsb
+
+import (
+	"strings"
+	"testing"
+
+	"nestedenclave/internal/sqldb"
+)
+
+func smallCfg() Config {
+	return Config{Records: 50, Operations: 200, FieldLen: 20, Seed: 7}
+}
+
+func TestAllMixesRun(t *testing.T) {
+	for _, mix := range TableVIMixes() {
+		w := Generate(mix, smallCfg())
+		if len(w.Queries) != 200 {
+			t.Fatalf("%s: %d queries", mix.Name, len(w.Queries))
+		}
+		db := sqldb.New()
+		if err := w.Load(db); err != nil {
+			t.Fatalf("%s: %v", mix.Name, err)
+		}
+		n, err := w.Run(db)
+		if err != nil {
+			t.Fatalf("%s: after %d queries: %v", mix.Name, n, err)
+		}
+		if n != 200 {
+			t.Fatalf("%s: ran %d", mix.Name, n)
+		}
+	}
+}
+
+func TestMixProportions(t *testing.T) {
+	cfg := Config{Records: 10, Operations: 10000, FieldLen: 5, Seed: 3}
+	w := Generate(Mix{Name: "95/5", SelectP: 95, UpdateP: 5}, cfg)
+	sel, upd := 0, 0
+	for _, q := range w.Queries {
+		switch {
+		case strings.HasPrefix(q, "SELECT"):
+			sel++
+		case strings.HasPrefix(q, "UPDATE"):
+			upd++
+		default:
+			t.Fatalf("unexpected op: %s", q)
+		}
+	}
+	if sel < 9300 || sel > 9700 {
+		t.Fatalf("select fraction off: %d/10000", sel)
+	}
+	if sel+upd != 10000 {
+		t.Fatalf("sum %d", sel+upd)
+	}
+}
+
+func TestInsertWorkloadGrowsTable(t *testing.T) {
+	w := Generate(Mix{Name: "ins", InsertP: 100}, smallCfg())
+	db := sqldb.New()
+	if err := w.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(db); err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.NumRows("usertable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50+200 {
+		t.Fatalf("rows = %d, want 250", n)
+	}
+}
+
+func TestWorkloadEScans(t *testing.T) {
+	w := Generate(WorkloadE(), smallCfg())
+	db := sqldb.New()
+	if err := w.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(db); err != nil {
+		t.Fatal(err)
+	}
+	scans := 0
+	for _, q := range w.Queries {
+		if strings.Contains(q, ">=") {
+			scans++
+		}
+	}
+	if scans < 150 { // ~95% of 200
+		t.Fatalf("only %d scans generated", scans)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := Generate(TableVIMixes()[1], smallCfg())
+	b := Generate(TableVIMixes()[1], smallCfg())
+	if len(a.Queries) != len(b.Queries) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Queries {
+		if a.Queries[i] != b.Queries[i] {
+			t.Fatalf("query %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package nestedenclave_test
+
+import (
+	"bytes"
+	"testing"
+
+	ne "nestedenclave"
+	"nestedenclave/internal/isa"
+	"nestedenclave/internal/trace"
+)
+
+// These tests exercise the public facade end to end, mirroring the README's
+// quickstart.
+
+func buildPair(t *testing.T, sys *ne.System) (inner, outer *ne.Enclave, innerImg, outerImg *ne.Image) {
+	t.Helper()
+	author := ne.NewAuthor()
+	outerImg = ne.NewImage("lib", 0x2000_0000, ne.DefaultLayout())
+	innerImg = ne.NewImage("app", 0x1000_0000, ne.DefaultLayout())
+	outerImg.RegisterNOCall("double", func(env *ne.Env, args []byte) ([]byte, error) {
+		return append(args, args...), nil
+	})
+	outerImg.RegisterECall("dispatch", func(env *ne.Env, args []byte) ([]byte, error) {
+		return env.NECall(env.E.Inners()[0], "work", args)
+	})
+	innerImg.RegisterECall("work", func(env *ne.Env, args []byte) ([]byte, error) {
+		return env.NOCall("double", args)
+	})
+	var err error
+	if outer, err = sys.Load(outerImg.Sign(author, nil, []ne.Digest{innerImg.Measure()})); err != nil {
+		t.Fatal(err)
+	}
+	if inner, err = sys.Load(innerImg.Sign(author, []ne.Digest{outerImg.Measure()}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Associate(inner, outer); err != nil {
+		t.Fatal(err)
+	}
+	return inner, outer, innerImg, outerImg
+}
+
+func TestSystemRoundTrip(t *testing.T) {
+	sys := ne.NewSystem()
+	_, outer, _, _ := buildPair(t, sys)
+	out, err := outer.ECall("dispatch", []byte("ab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "abab" {
+		t.Fatalf("round trip returned %q", out)
+	}
+	if sys.Recorder().Get(trace.EvNECall) == 0 {
+		t.Fatal("no n_ecall recorded")
+	}
+}
+
+func TestSystemOptions(t *testing.T) {
+	// Baseline system: no nesting support.
+	sys := ne.NewSystem(ne.Options{DisableNesting: true})
+	if sys.Ext != nil {
+		t.Fatal("baseline system has a nesting extension")
+	}
+	author := ne.NewAuthor()
+	img := ne.NewImage("solo", 0x1000_0000, ne.DefaultLayout())
+	img.RegisterECall("noop", func(env *ne.Env, args []byte) ([]byte, error) { return args, nil })
+	e, err := sys.Load(img.Sign(author, nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ECall("noop", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Association must fail without the extension.
+	img2 := ne.NewImage("solo2", 0x2000_0000, ne.DefaultLayout())
+	e2, err := sys.Load(img2.Sign(author, nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Associate(e2, e); err == nil {
+		t.Fatal("associate succeeded on a baseline machine")
+	}
+}
+
+func TestQuoteFlowThroughFacade(t *testing.T) {
+	sys := ne.NewSystem()
+	inner, outer, innerImg, _ := buildPair(t, sys)
+	qs, err := sys.NewQuotingService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var quote *ne.Quote
+	innerImg.RegisterECall("attest", func(env *ne.Env, args []byte) ([]byte, error) {
+		rep, err := sys.Ext.NEREPORT(env.C, qs.Measurement(), [64]byte{1})
+		if err != nil {
+			return nil, err
+		}
+		quote, err = qs.MakeQuote(rep)
+		return nil, err
+	})
+	if _, err := inner.ECall("attest", nil); err != nil {
+		t.Fatal(err)
+	}
+	err = ne.VerifyQuote(qs.PlatformKey(), quote, ne.Expectation{
+		Enclave: inner.SECS().MRENCLAVE,
+		Outers:  []ne.Digest{outer.SECS().MRENCLAVE},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHostCannotReadEnclaveHeap(t *testing.T) {
+	sys := ne.NewSystem()
+	inner, _, innerImg, _ := buildPair(t, sys)
+	var addr uint64
+	innerImg.RegisterECall("stash", func(env *ne.Env, args []byte) ([]byte, error) {
+		a, err := env.Malloc(len(args))
+		if err != nil {
+			return nil, err
+		}
+		addr = uint64(a)
+		return nil, env.Write(a, args)
+	})
+	secret := []byte("facade-level-secret")
+	if _, err := inner.ECall("stash", secret); err != nil {
+		t.Fatal(err)
+	}
+	c := sys.Machine.Core(0)
+	if err := sys.Kernel.Schedule(c, sys.Host.Proc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(isa.VAddr(addr), len(secret))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(got, secret[:4]) {
+		t.Fatal("host read enclave heap")
+	}
+}

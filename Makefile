@@ -1,0 +1,30 @@
+# Build and verification targets. tier1 is the gate the roadmap tracks;
+# tier2 adds vet and the race detector (the observability layer's concurrent
+# ring buffer and histograms are exercised under -race).
+
+GO ?= go
+
+.PHONY: all build tier1 vet race tier2 bench clean
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+tier2:
+	$(GO) vet ./... && $(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+clean:
+	$(GO) clean ./...

@@ -5,16 +5,27 @@
 //	repro -only table2,fig11   # a subset
 //	repro -full                # paper-scale parameters (slow, needs RAM)
 //	repro -list                # list experiment names
+//	repro -json results/       # also write BENCH_<name>.json snapshots
+//	repro -http :6060          # expose expvar + pprof while running
 //
 // Output is printed as aligned text tables; each carries a note with the
-// paper's reported numbers for comparison.
+// paper's reported numbers for comparison. With -json, every experiment
+// additionally persists its merged counter/histogram snapshot (simulated
+// cycles, per-event counts, latency distributions) as BENCH_<name>.json in
+// the given directory. With -http, the process serves /debug/vars (the
+// nesclave_experiments expvar) and /debug/pprof on the given address for
+// live inspection of long -full runs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"nestedenclave/internal/bench"
 	"nestedenclave/internal/ycsb"
@@ -153,11 +164,40 @@ func experiments() []experiment {
 	}
 }
 
+// writeSnapshot persists the experiment's merged observability snapshot as
+// BENCH_<name>.json in dir.
+func writeSnapshot(dir string, snap *bench.ExperimentSnapshot) error {
+	b, err := bench.MarshalSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+snap.Name+".json")
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
 func main() {
 	full := flag.Bool("full", false, "run at the paper's scale (slow; fig10 needs several GB of RAM)")
 	only := flag.String("only", "", "comma-separated experiment names (default: all)")
 	list := flag.Bool("list", false, "list experiment names and exit")
+	jsonDir := flag.String("json", "", "directory to write per-experiment BENCH_<name>.json snapshots")
+	httpAddr := flag.String("http", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address")
 	flag.Parse()
+
+	if *httpAddr != "" {
+		bench.PublishExpvar()
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: http endpoint: %v\n", err)
+			}
+		}()
+		fmt.Printf("debug endpoint on %s (/debug/vars, /debug/pprof)\n", *httpAddr)
+	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: -json dir: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	exps := experiments()
 	if *list {
@@ -190,9 +230,23 @@ func main() {
 			continue
 		}
 		fmt.Printf("--- %s: %s ---\n", e.name, e.desc)
-		if err := e.run(*full); err != nil {
+		bench.BeginExperiment(e.name)
+		start := time.Now()
+		err := e.run(*full)
+		snap := bench.EndExperiment()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
 			failed = true
+			continue
+		}
+		if snap != nil {
+			snap.WallMS = float64(time.Since(start).Microseconds()) / 1e3
+			if *jsonDir != "" {
+				if werr := writeSnapshot(*jsonDir, snap); werr != nil {
+					fmt.Fprintf(os.Stderr, "%s: snapshot: %v\n", e.name, werr)
+					failed = true
+				}
+			}
 		}
 	}
 	if failed {

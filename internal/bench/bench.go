@@ -46,6 +46,7 @@ func NewRig(cfg sgx.Config) *Rig {
 	m := sgx.MustNew(cfg)
 	ext := core.Enable(m, core.TwoLevel())
 	k := kos.New(m)
+	registerRecorder(m.Rec)
 	return &Rig{M: m, K: k, Ext: ext, Host: sdk.NewHost(k, ext)}
 }
 

@@ -236,7 +236,10 @@ func Figure7(chunks []int, msgs int) ([]Figure7Row, error) {
 					return nil, err
 				}
 			}
-			calls0 := transitionCalls(r)
+			// Count boundary crossings with an allocation-free region delta,
+			// so the measurement loop itself does not disturb the numbers.
+			reg := r.M.Rec.BeginRegion("figure7")
+			var delta trace.CounterSet
 			// Best-of-3 passes: wall-clock on a shared host is noisy, and
 			// the fastest pass is the least disturbed estimate.
 			best := 0.0
@@ -251,7 +254,9 @@ func Figure7(chunks []int, msgs int) ([]Figure7Row, error) {
 					best = mps
 				}
 			}
-			calls := float64(transitionCalls(r)-calls0) / float64(3*msgs)
+			reg.EndInto(&delta)
+			calls := float64(delta.Total(trace.EvECall, trace.EvOCall,
+				trace.EvNECall, trace.EvNOCall)) / float64(3*msgs)
 			mps := best
 			if nested {
 				row.NestMsgsPerSec, row.NestCallsPerMsg = mps, calls
@@ -263,11 +268,6 @@ func Figure7(chunks []int, msgs int) ([]Figure7Row, error) {
 		rows = append(rows, row)
 	}
 	return rows, nil
-}
-
-func transitionCalls(r *Rig) int64 {
-	return r.M.Rec.Get(trace.EvECall) + r.M.Rec.Get(trace.EvOCall) +
-		r.M.Rec.Get(trace.EvNECall) + r.M.Rec.Get(trace.EvNOCall)
 }
 
 func variantName(nested bool) string {

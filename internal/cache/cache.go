@@ -90,9 +90,11 @@ func MustNew(cfg Config, backend Backend, rec *trace.Recorder) *Cache {
 	return c
 }
 
+// charge bills LLC hits/misses to the enclave the access path named via
+// SetBillHint — the cache itself runs below the protection context.
 func (c *Cache) charge(e trace.Event, cost int64) {
 	if c.rec != nil {
-		c.rec.Charge(e, cost)
+		c.rec.ChargeHint(e, cost)
 	}
 }
 

@@ -43,7 +43,7 @@ func (e *Extension) NEENTER(c *sgx.Core, target *sgx.SECS, tcsVaddr isa.VAddr) e
 			return isa.GP("NEENTER: destination TCS %#x busy", uint64(tcsVaddr))
 		}
 		c.SwitchToNestedLocked(target, t)
-		e.m.Rec.Charge(trace.EvNEENTER, trace.CostNEENTER)
+		e.m.Rec.ChargeTo(uint64(target.EID), c.ID, trace.EvNEENTER, trace.CostNEENTER)
 		return nil
 	})
 }
@@ -62,8 +62,9 @@ func (e *Extension) NEEXIT(c *sgx.Core) error {
 		if t == nil || !t.Ret() {
 			return isa.GP("NEEXIT: no suspended outer context (not a nested entry)")
 		}
+		leaving := c.BillEID()
 		c.SwitchFromNestedLocked()
-		e.m.Rec.Charge(trace.EvNEEXIT, trace.CostNEEXIT)
+		e.m.Rec.ChargeTo(leaving, c.ID, trace.EvNEEXIT, trace.CostNEEXIT)
 		return nil
 	})
 }

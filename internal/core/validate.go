@@ -94,7 +94,7 @@ func (Validator) Validate(c *sgx.Core, v isa.VAddr, pte pt.PTE, op isa.Access) (
 			if !eff.Allows(op) {
 				return fault(isa.PF(v, op, "EPCM permission (outer page)"))
 			}
-			m.Rec.Charge(trace.EvNestedValidate, 0)
+			m.Rec.ChargeToDetail(uint64(s.EID), c.ID, trace.EvNestedValidate, 0, v.VPN())
 			return tlb.Entry{VPN: v.VPN(), PPN: pte.PPN, Perms: eff,
 				FilledInEnclave: true, FilledEID: s.EID}, nil
 		}

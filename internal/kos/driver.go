@@ -187,7 +187,7 @@ func (d *Driver) EvictPage(p *Process, s *sgx.SECS, vaddr isa.VAddr) error {
 	cores := m.ETrack(s)
 	if !d.SkipShootdown {
 		for _, c := range cores {
-			m.Shootdown(c)
+			m.ShootdownFor(c, s.EID)
 		}
 	}
 	blob, err := m.EWB(pageIdx)

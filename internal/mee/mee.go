@@ -72,9 +72,11 @@ func New(mem *phys.Memory, rec *trace.Recorder) *Engine {
 	return &Engine{mem: mem, rec: rec, aead: aead, meta: make(map[uint64]*lineMeta), Enabled: true}
 }
 
+// charge bills MEE line work to the enclave the access path named via
+// SetBillHint — the engine itself runs below the protection context.
 func (e *Engine) charge(ev trace.Event, cost int64) {
 	if e.rec != nil {
-		e.rec.Charge(ev, cost)
+		e.rec.ChargeHint(ev, cost)
 	}
 }
 

@@ -103,7 +103,8 @@ func (e *Enclave) ECall(name string, args []byte) ([]byte, error) {
 	defer e.releaseTCS(tcsV)
 
 	m := e.host.K.Machine()
-	m.Rec.Charge(trace.EvECall, 0)
+	m.Rec.ChargeTo(uint64(e.secs.EID), c.ID, trace.EvECall, 0)
+	callStart := m.Rec.Cycles()
 	// The uRTS marshals arguments into an untrusted buffer the enclave will
 	// copy in; the simulator models the copy cost with a defensive copy.
 	marshalled := append([]byte(nil), args...)
@@ -117,6 +118,7 @@ func (e *Enclave) ECall(name string, args []byte) ([]byte, error) {
 	if err := m.EExit(c, true); err != nil {
 		return nil, err
 	}
+	m.Rec.Observe(trace.OpECall, m.Rec.Cycles()-callStart)
 	if ferr != nil {
 		return nil, &EnclaveError{Enclave: e.img.Name, Call: name, Err: ferr}
 	}

@@ -65,7 +65,8 @@ func (env *Env) OCall(name string, args []byte) ([]byte, error) {
 		return nil, fmt.Errorf("sdk: host has no ocall handler %q", name)
 	}
 	m := env.E.host.K.Machine()
-	m.Rec.Charge(trace.EvOCall, 0)
+	m.Rec.ChargeTo(uint64(env.E.secs.EID), env.C.ID, trace.EvOCall, 0)
+	callStart := m.Rec.Cycles()
 	// The tRTS scrubs registers and marshals arguments out before EEXIT.
 	marshalled := append([]byte(nil), args...)
 	env.C.Regs.Scrub()
@@ -76,6 +77,7 @@ func (env *Env) OCall(name string, args []byte) ([]byte, error) {
 	if err := m.EEnter(env.C, env.E.secs, env.tcsV, true); err != nil {
 		return nil, err
 	}
+	m.Rec.Observe(trace.OpOCall, m.Rec.Cycles()-callStart)
 	if ferr != nil {
 		return nil, ferr
 	}
@@ -96,7 +98,8 @@ func (env *Env) NECall(inner *Enclave, name string, args []byte) ([]byte, error)
 		return nil, fmt.Errorf("sdk: inner enclave %s has no entry %q", inner.img.Name, name)
 	}
 	m := env.E.host.K.Machine()
-	m.Rec.Charge(trace.EvNECall, 0)
+	m.Rec.ChargeTo(uint64(inner.secs.EID), env.C.ID, trace.EvNECall, 0)
+	callStart := m.Rec.Cycles()
 	tcsV := inner.claimTCS()
 	defer inner.releaseTCS(tcsV)
 	marshalled := append([]byte(nil), args...)
@@ -108,6 +111,7 @@ func (env *Env) NECall(inner *Enclave, name string, args []byte) ([]byte, error)
 	if err := ext.NEEXIT(env.C); err != nil {
 		return nil, err
 	}
+	m.Rec.Observe(trace.OpNECall, m.Rec.Cycles()-callStart)
 	if ferr != nil {
 		return nil, ferr
 	}
@@ -141,7 +145,8 @@ func (env *Env) NOCall(name string, args []byte) ([]byte, error) {
 		return nil, fmt.Errorf("sdk: no outer enclave of %s exposes %q", env.E.img.Name, name)
 	}
 	m := env.E.host.K.Machine()
-	m.Rec.Charge(trace.EvNOCall, 0)
+	m.Rec.ChargeTo(uint64(outer.secs.EID), env.C.ID, trace.EvNOCall, 0)
+	callStart := m.Rec.Cycles()
 	marshalled := append([]byte(nil), args...)
 
 	// Fast path: this inner was NEENTERed from the outer enclave, so NEEXIT
@@ -158,6 +163,7 @@ func (env *Env) NOCall(name string, args []byte) ([]byte, error) {
 		if err := ext.NEENTER(env.C, env.E.secs, env.tcsV); err != nil {
 			return nil, err
 		}
+		m.Rec.Observe(trace.OpNOCall, m.Rec.Cycles()-callStart)
 		if ferr != nil {
 			return nil, ferr
 		}
@@ -178,6 +184,7 @@ func (env *Env) NOCall(name string, args []byte) ([]byte, error) {
 	if err := ext.NEEXIT(env.C); err != nil {
 		return nil, err
 	}
+	m.Rec.Observe(trace.OpNOCall, m.Rec.Cycles()-callStart)
 	if ferr != nil {
 		return nil, ferr
 	}

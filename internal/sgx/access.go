@@ -15,11 +15,20 @@ const maxFaultRetries = 4
 // physical address, abort=true (abort-page semantics), or a fault.
 // Caller holds m.mu.
 func (c *Core) translateLocked(v isa.VAddr, op isa.Access) (pa isa.PAddr, abort bool, err error) {
+	rec := c.m.Rec
+	eid := c.BillEID()
+	// The memory hierarchy below (LLC, MEE) has no protection context of its
+	// own; bill its line operations to the enclave driving this access.
+	rec.SetBillHint(eid)
 	if e, ok := c.TLB.Lookup(v); ok && e.Perms.Allows(op) {
 		return isa.PAddr(e.PPN<<isa.PageShift | v.Offset()), false, nil
 	}
-	// TLB miss: walk the (untrusted) page table, then validate.
-	c.m.Rec.Charge(trace.EvPageWalk, trace.CostPageWalk)
+	// TLB miss: walk the (untrusted) page table, then validate. The whole
+	// miss-handling sequence is observed as one page-walk latency sample,
+	// classified as nested when the Figure-6 outer-enclave branch fired.
+	walkStart := rec.Cycles()
+	nested0 := rec.Get(trace.EvNestedValidate)
+	rec.ChargeToDetail(eid, c.ID, trace.EvPageWalk, trace.CostPageWalk, v.VPN())
 	if c.PT == nil {
 		return 0, false, isa.PF(v, op, "no address space installed")
 	}
@@ -37,13 +46,18 @@ func (c *Core) translateLocked(v isa.VAddr, op isa.Access) (pa isa.PAddr, abort 
 		}
 		switch outcome.Fault.Class {
 		case isa.FaultGP:
-			c.m.Rec.Inc(trace.EvFaultGP)
+			rec.ChargeToDetail(eid, c.ID, trace.EvFaultGP, 0, v.VPN())
 		case isa.FaultPF:
-			c.m.Rec.Inc(trace.EvFaultPF)
+			rec.ChargeToDetail(eid, c.ID, trace.EvFaultPF, 0, v.VPN())
 		}
 		return 0, false, outcome.Fault
 	}
 	c.TLB.Insert(entry)
+	walkOp := trace.OpPageWalk
+	if rec.Get(trace.EvNestedValidate) != nested0 {
+		walkOp = trace.OpNestedWalk
+	}
+	rec.Observe(walkOp, rec.Cycles()-walkStart)
 	return isa.PAddr(entry.PPN<<isa.PageShift | v.Offset()), false, nil
 }
 
@@ -66,7 +80,7 @@ func (c *Core) handleFault(err error) bool {
 		return false
 	}
 	if c.inEnclave {
-		c.m.Rec.Charge(trace.EvAEX, trace.CostAEX)
+		c.m.Rec.ChargeTo(c.BillEID(), c.ID, trace.EvAEX, trace.CostAEX)
 	}
 	return c.PFHandler(c, f)
 }

@@ -143,7 +143,9 @@ func New(cfg Config) (*Machine, error) {
 	m.Validator = BaselineValidator{}
 	m.Tracker = BaselineTracker{}
 	for i := 0; i < cfg.Cores; i++ {
-		m.cores = append(m.cores, &Core{m: m, ID: i, TLB: tlb.New(rec)})
+		t := tlb.New(rec)
+		t.CoreID = i
+		m.cores = append(m.cores, &Core{m: m, ID: i, TLB: t})
 	}
 	return m, nil
 }
@@ -233,6 +235,15 @@ func (c *Core) Current() *SECS {
 
 // CurrentTCS returns the active TCS, if any.
 func (c *Core) CurrentTCS() *TCS { return c.curTCS }
+
+// BillEID returns the attribution identity for the core's current execution:
+// the EID of the enclave it runs, or trace.NoEID outside enclave mode.
+func (c *Core) BillEID() uint64 {
+	if c.inEnclave && c.cur != nil {
+		return uint64(c.cur.EID)
+	}
+	return trace.NoEID
+}
 
 // NestingDepth returns how many enclave frames are active on the core
 // (1 inside a top-level enclave, 2 inside an inner enclave, ...).

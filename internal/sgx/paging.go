@@ -89,14 +89,18 @@ func (m *Machine) ETrack(s *SECS) []*Core {
 	return m.Tracker.CoresToShootdown(m, s.EID)
 }
 
-// ShootdownLocked flushes the target core's TLB, modelling the effect of the
+// Shootdown flushes the target core's TLB, modelling the effect of the
 // TLB-shootdown IPI (on real hardware the IPI causes an AEX, whose exit path
 // flushes). Called by the kernel (kos) for each core ETrack returned.
-func (m *Machine) Shootdown(c *Core) {
+func (m *Machine) Shootdown(c *Core) { m.ShootdownFor(c, isa.NoEnclave) }
+
+// ShootdownFor is Shootdown billing the IPI to the enclave whose page
+// tracking caused it (the eviction victim's owner).
+func (m *Machine) ShootdownFor(c *Core, eid isa.EID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	c.TLB.FlushAll()
-	m.Rec.Charge(trace.EvIPI, trace.CostIPI)
+	m.Rec.ChargeTo(uint64(eid), c.ID, trace.EvIPI, trace.CostIPI)
 }
 
 // EWB evicts a blocked EPC page: verifies no TLB anywhere still maps it
@@ -114,6 +118,10 @@ func (m *Machine) EWB(page int) (*EvictedPage, error) {
 	}
 	pa := m.EPC.AddrOf(page)
 	ppn := pa.PPN()
+	// Bill the flush/seal memory traffic to the page's owner and observe the
+	// whole eviction as one latency sample.
+	m.Rec.SetBillHint(uint64(ent.Owner))
+	ewbStart := m.Rec.Cycles()
 	for _, c := range m.cores {
 		for _, e := range c.TLB.Entries() {
 			if e.PPN == ppn {
@@ -144,7 +152,8 @@ func (m *Machine) EWB(page int) (*EvictedPage, error) {
 	if err := m.EPC.Free(page); err != nil {
 		return nil, err
 	}
-	m.Rec.Charge(trace.EvEWB, 0)
+	m.Rec.ChargeToDetail(uint64(ent.Owner), trace.NoCore, trace.EvEWB, 0, uint64(ent.Vaddr))
+	m.Rec.Observe(trace.OpEWB, m.Rec.Cycles()-ewbStart)
 	return blob, nil
 }
 
@@ -164,6 +173,8 @@ func (m *Machine) ELDU(blob *EvictedPage) (int, error) {
 	if _, ok := m.secsByEID[blob.Owner]; !ok {
 		return 0, isa.GP("ELDU: owner enclave %d no longer exists", blob.Owner)
 	}
+	m.Rec.SetBillHint(uint64(blob.Owner))
+	eldStart := m.Rec.Cycles()
 	page, err := m.EPC.Alloc(blob.Owner, blob.Type, blob.Vaddr, blob.Perms)
 	if err != nil {
 		return 0, isa.GP("ELDU: %v", err)
@@ -173,7 +184,8 @@ func (m *Machine) ELDU(blob *EvictedPage) (int, error) {
 		return 0, err
 	}
 	delete(m.vaSlots, blob.Slot)
-	m.Rec.Charge(trace.EvELD, 0)
+	m.Rec.ChargeToDetail(uint64(blob.Owner), trace.NoCore, trace.EvELD, 0, uint64(blob.Vaddr))
+	m.Rec.Observe(trace.OpELD, m.Rec.Cycles()-eldStart)
 	return page, nil
 }
 

@@ -51,11 +51,12 @@ func (m *Machine) EEnter(c *Core, s *SECS, tcsVaddr isa.VAddr, resume bool) erro
 	c.inEnclave = true
 	c.cur = s
 	c.curTCS = t
+	c.TLB.BillEID = uint64(s.EID)
 	s.epochEntries[c.ID] = s.trackEpoch
 	if resume {
-		m.Rec.Charge(trace.EvEENTER, trace.CostEENTERResume)
+		m.Rec.ChargeTo(uint64(s.EID), c.ID, trace.EvEENTER, trace.CostEENTERResume)
 	} else {
-		m.Rec.Charge(trace.EvEENTER, trace.CostEENTER)
+		m.Rec.ChargeTo(uint64(s.EID), c.ID, trace.EvEENTER, trace.CostEENTER)
 	}
 	return nil
 }
@@ -86,8 +87,9 @@ func (m *Machine) EExit(c *Core, release bool) error {
 	c.inEnclave = false
 	c.cur = nil
 	c.curTCS = nil
+	c.TLB.BillEID = trace.NoEID
 	delete(cur.epochEntries, c.ID)
-	m.Rec.Charge(trace.EvEEXIT, trace.CostEEXIT)
+	m.Rec.ChargeTo(uint64(cur.EID), c.ID, trace.EvEEXIT, trace.CostEEXIT)
 	return nil
 }
 
@@ -108,13 +110,15 @@ func (m *Machine) aexLocked(c *Core) error {
 	}
 	t := c.curTCS
 	t.ssa = &savedFrame{regs: c.Regs, cur: c.cur, curTCS: t}
+	interrupted := c.cur.EID
 	c.Regs.Scrub()
 	c.TLB.FlushAll()
 	delete(c.cur.epochEntries, c.ID)
 	c.inEnclave = false
 	c.cur = nil
 	c.curTCS = nil
-	m.Rec.Charge(trace.EvAEX, trace.CostAEX)
+	c.TLB.BillEID = trace.NoEID
+	m.Rec.ChargeTo(uint64(interrupted), c.ID, trace.EvAEX, trace.CostAEX)
 	return nil
 }
 
@@ -135,8 +139,9 @@ func (m *Machine) EResume(c *Core, t *TCS) error {
 	c.cur = f.cur
 	c.curTCS = f.curTCS
 	c.Regs = f.regs
+	c.TLB.BillEID = uint64(f.cur.EID)
 	f.cur.epochEntries[c.ID] = f.cur.trackEpoch
-	m.Rec.Charge(trace.EvEENTER, trace.CostEENTER)
+	m.Rec.ChargeTo(uint64(f.cur.EID), c.ID, trace.EvEENTER, trace.CostEENTER)
 	return nil
 }
 
@@ -169,6 +174,7 @@ func (c *Core) SwitchToNestedLocked(inner *SECS, t *TCS) {
 	c.inEnclave = true
 	c.cur = inner
 	c.curTCS = t
+	c.TLB.BillEID = uint64(inner.EID)
 	inner.epochEntries[c.ID] = inner.trackEpoch
 }
 
@@ -187,6 +193,7 @@ func (c *Core) SwitchFromNestedLocked() {
 	c.cur = f.secs
 	c.curTCS = f.tcs
 	c.Regs = f.regs
+	c.TLB.BillEID = uint64(f.secs.EID)
 	f.secs.epochEntries[c.ID] = f.secs.trackEpoch
 }
 

@@ -22,8 +22,11 @@ func abortOutcome() (tlb.Entry, *Outcome) { return tlb.Entry{}, &Outcome{Abort: 
 
 func faultOutcome(f *isa.Fault) (tlb.Entry, *Outcome) { return tlb.Entry{}, &Outcome{Fault: f} }
 
-// step charges one validation step to the cost model.
-func step(c *Core) { c.m.Rec.Charge(trace.EvValidateStep, trace.CostValidateStep) }
+// step charges one validation step to the cost model, billed to the enclave
+// whose access is being validated.
+func step(c *Core) {
+	c.m.Rec.ChargeTo(c.BillEID(), c.ID, trace.EvValidateStep, trace.CostValidateStep)
+}
 
 // Validate implements Validator.
 func (BaselineValidator) Validate(c *Core, v isa.VAddr, pte pt.PTE, op isa.Access) (tlb.Entry, *Outcome) {

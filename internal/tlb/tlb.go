@@ -36,6 +36,13 @@ type Entry struct {
 type TLB struct {
 	entries map[uint64]Entry
 	rec     *trace.Recorder
+
+	// CoreID names the owning core in attributed charges.
+	CoreID int
+	// BillEID is the enclave whose execution currently fills and flushes
+	// this TLB; the transition instructions maintain it alongside the
+	// protection context, so hits, misses and flushes bill correctly.
+	BillEID uint64
 }
 
 // New creates an empty TLB. rec may be nil.
@@ -48,9 +55,9 @@ func (t *TLB) Lookup(v isa.VAddr) (Entry, bool) {
 	e, ok := t.entries[v.VPN()]
 	if t.rec != nil {
 		if ok {
-			t.rec.Charge(trace.EvTLBHit, trace.CostTLBHit)
+			t.rec.ChargeTo(t.BillEID, t.CoreID, trace.EvTLBHit, trace.CostTLBHit)
 		} else {
-			t.rec.Charge(trace.EvTLBMiss, 0)
+			t.rec.ChargeTo(t.BillEID, t.CoreID, trace.EvTLBMiss, 0)
 		}
 	}
 	return e, ok
@@ -65,7 +72,7 @@ func (t *TLB) Insert(e Entry) { t.entries[e.VPN] = e }
 // NEENTER/NEEXIT transitions.
 func (t *TLB) FlushAll() {
 	if t.rec != nil {
-		t.rec.Charge(trace.EvTLBFlush, trace.CostTLBFlush)
+		t.rec.ChargeTo(t.BillEID, t.CoreID, trace.EvTLBFlush, trace.CostTLBFlush)
 	}
 	clear(t.entries)
 }

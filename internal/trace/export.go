@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file renders the observability layer's data for external tools:
+//
+//   - ChromeTrace turns an event-log snapshot into Chrome trace_event JSON
+//     that loads directly in chrome://tracing or https://ui.perfetto.dev.
+//     Each enclave becomes a "process" (pid = EID) and each core a "thread",
+//     so the timeline shows per-enclave swimlanes of EENTER/EEXIT/NEENTER/
+//     NEEXIT spans, TLB work, faults and paging.
+//   - WritePrometheus dumps the recorder as Prometheus text exposition:
+//     global counters, per-enclave counters, and the latency histograms in
+//     the standard _bucket/_sum/_count form.
+
+// chromeEvent is one trace_event entry. Field order fixes the JSON layout so
+// golden tests stay stable; map args marshal with sorted keys.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  uint64         `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders records (as returned by EventLog.Snapshot) as Chrome
+// trace_event JSON. cyclesPerUS converts the simulated clock to microseconds;
+// pass CyclesPerUS for the default 4 GHz reference. Events with a cycle cost
+// become complete ("X") spans; zero-cost markers become instant events.
+func ChromeTrace(recs []Record, cyclesPerUS float64) ([]byte, error) {
+	if cyclesPerUS <= 0 {
+		cyclesPerUS = CyclesPerUS
+	}
+	var events []chromeEvent
+
+	// Name the per-enclave "processes" so the viewer shows readable lanes.
+	eids := make(map[uint64]bool)
+	for _, r := range recs {
+		eids[r.EID] = true
+	}
+	sorted := make([]uint64, 0, len(eids))
+	for e := range eids {
+		sorted = append(sorted, e)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, e := range sorted {
+		name := fmt.Sprintf("enclave %d", e)
+		if e == NoEID {
+			name = "untrusted"
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: e,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	for _, r := range recs {
+		ev := chromeEvent{
+			Name: r.Event.String(),
+			Pid:  r.EID,
+			Tid:  int64(r.Core),
+			Args: map[string]any{"seq": r.Seq},
+		}
+		if r.Detail != 0 {
+			ev.Args["detail"] = r.Detail
+		}
+		if r.Cost > 0 {
+			ev.Ph = "X"
+			ev.Ts = float64(r.Cycles-r.Cost) / cyclesPerUS
+			dur := float64(r.Cost) / cyclesPerUS
+			ev.Dur = &dur
+		} else {
+			ev.Ph = "i"
+			ev.Ts = float64(r.Cycles) / cyclesPerUS
+			ev.S = "t"
+		}
+		events = append(events, ev)
+	}
+	return json.Marshal(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WritePrometheus dumps the recorder's counters, per-enclave counters, and
+// latency histograms in Prometheus text exposition format. Output order is
+// deterministic.
+func WritePrometheus(w io.Writer, r *Recorder) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	p("# HELP nesclave_cycles_total Simulated cycles accumulated by the cost model.\n")
+	p("# TYPE nesclave_cycles_total counter\n")
+	p("nesclave_cycles_total %d\n", r.Cycles())
+
+	p("# HELP nesclave_events_total Architectural events by type.\n")
+	p("# TYPE nesclave_events_total counter\n")
+	var cs CounterSet
+	r.SnapshotInto(&cs)
+	for e := Event(0); e < numEvents; e++ {
+		if v := cs.Get(e); v != 0 {
+			p("nesclave_events_total{event=%q} %d\n", e.String(), v)
+		}
+	}
+
+	per := r.PerEnclave()
+	if len(per) > 0 {
+		p("# HELP nesclave_enclave_events_total Architectural events billed per enclave.\n")
+		p("# TYPE nesclave_enclave_events_total counter\n")
+		eids := make([]uint64, 0, len(per))
+		for eid := range per {
+			eids = append(eids, eid)
+		}
+		sort.Slice(eids, func(i, j int) bool { return eids[i] < eids[j] })
+		for _, eid := range eids {
+			set := per[eid]
+			for e := Event(0); e < numEvents; e++ {
+				if v := set.Get(e); v != 0 {
+					p("nesclave_enclave_events_total{eid=\"%d\",event=%q} %d\n", eid, e.String(), v)
+				}
+			}
+		}
+	}
+
+	p("# HELP nesclave_op_cycles Latency of composite operations in simulated cycles.\n")
+	p("# TYPE nesclave_op_cycles histogram\n")
+	for op := Op(0); op < numOps; op++ {
+		s := r.Hist(op).Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		var cum int64
+		for i, b := range s.Buckets {
+			if b == 0 {
+				continue
+			}
+			cum += b
+			p("nesclave_op_cycles_bucket{op=%q,le=\"%d\"} %d\n", op.String(), BucketBound(i), cum)
+		}
+		p("nesclave_op_cycles_bucket{op=%q,le=\"+Inf\"} %d\n", op.String(), s.Count)
+		p("nesclave_op_cycles_sum{op=%q} %d\n", op.String(), s.Sum)
+		p("nesclave_op_cycles_count{op=%q} %d\n", op.String(), s.Count)
+	}
+	return err
+}

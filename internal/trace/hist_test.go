@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBucketEdges(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{1 << 20, 21},
+		{(1 << 21) - 1, 21},
+		{math.MaxInt64, 63},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every value must fall within the inclusive upper bound of its bucket
+	// and above the previous bucket's bound.
+	for _, c := range cases {
+		if c.v <= 0 {
+			continue
+		}
+		b := bucketOf(c.v)
+		if c.v > BucketBound(b) {
+			t.Errorf("value %d above BucketBound(%d)=%d", c.v, b, BucketBound(b))
+		}
+		if c.v <= BucketBound(b-1) {
+			t.Errorf("value %d not above BucketBound(%d)=%d", c.v, b-1, BucketBound(b-1))
+		}
+	}
+}
+
+func TestBucketBound(t *testing.T) {
+	if BucketBound(0) != 0 || BucketBound(-1) != 0 {
+		t.Fatal("bucket 0 bound")
+	}
+	if BucketBound(1) != 1 || BucketBound(2) != 3 || BucketBound(10) != 1023 {
+		t.Fatalf("bounds: %d %d %d", BucketBound(1), BucketBound(2), BucketBound(10))
+	}
+	if BucketBound(63) != math.MaxInt64 || BucketBound(64) != math.MaxInt64 {
+		t.Fatal("top buckets must clamp to MaxInt64")
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 100, -7} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 106 { // negatives clamp to zero
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	s := h.Snapshot()
+	if s.Buckets[0] != 2 { // 0 and -7
+		t.Fatalf("bucket 0 = %d", s.Buckets[0])
+	}
+	if s.Buckets[1] != 1 || s.Buckets[2] != 2 || s.Buckets[7] != 1 {
+		t.Fatalf("buckets: %v", s.NonZeroBuckets())
+	}
+	if got := s.Mean(); math.Abs(got-106.0/6) > 1e-9 {
+		t.Fatalf("mean = %f", got)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	// 90 fast samples (bucket 4: bound 15), 10 slow (bucket 11: bound 2047).
+	for i := 0; i < 90; i++ {
+		h.Observe(10)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(2000)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.50); got != 15 {
+		t.Fatalf("p50 = %d", got)
+	}
+	if got := s.Quantile(0.90); got != 15 {
+		t.Fatalf("p90 = %d", got)
+	}
+	if got := s.Quantile(0.99); got != 2047 {
+		t.Fatalf("p99 = %d", got)
+	}
+	var empty HistSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty snapshot quantile/mean")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 5000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := int64(0); i < per; i++ {
+				h.Observe(seed + i%64)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	s := h.Snapshot()
+	var n int64
+	for _, b := range s.Buckets {
+		n += b
+	}
+	if n != workers*per {
+		t.Fatalf("bucket total = %d, want %d", n, workers*per)
+	}
+}
+
+func TestOpNames(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		if strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("op %d unnamed", op)
+		}
+	}
+	if Op(999).String() != "op(999)" {
+		t.Fatal("unknown op stringer")
+	}
+}

@@ -1,5 +1,6 @@
-// Package trace provides the event counters and the simulated cycle clock
-// shared by the machine simulator and the benchmark harness.
+// Package trace provides the event counters, the simulated cycle clock, and
+// the structured observability layer shared by the machine simulator and the
+// benchmark harness.
 //
 // Counters record architectural events (enclave transitions, TLB activity,
 // MEE line operations, faults) so experiments can report the same series the
@@ -7,6 +8,14 @@
 // echo-server throughput. The clock accumulates the cost model from package
 // isa-level constants declared here, giving a deterministic "simulated
 // cycles" measure alongside wall-clock timing.
+//
+// On top of the flat counters, a Recorder optionally attributes every charge
+// to the enclave it bills (per-EID counter sets) and appends it to a bounded
+// ring-buffer event log (see ring.go) that exporters turn into Chrome
+// trace_event timelines and Prometheus text dumps (see export.go). Latency
+// histograms for composite operations live in hist.go. All of it is designed
+// so the disabled path costs nothing beyond the original counter increments:
+// one atomic pointer load decides whether a charge is observed further.
 package trace
 
 import (
@@ -58,6 +67,9 @@ const (
 
 	numEvents
 )
+
+// NumEvents is the number of defined events (the length of a CounterSet).
+const NumEvents = int(numEvents)
 
 var eventNames = [...]string{
 	EvECall:          "ecall",
@@ -131,6 +143,10 @@ const (
 	CostGCMPerBlock = 40
 )
 
+// CyclesPerUS converts model cycles to microseconds at the paper's 4 GHz
+// reference clock; the exporters use it to place events on a time axis.
+const CyclesPerUS = 4000.0
+
 // GCMCycles returns the modelled cycle cost of one software AES-GCM
 // operation (seal or open) over n bytes.
 func GCMCycles(n int) int64 {
@@ -159,15 +175,59 @@ func (t *Counters) Reset() {
 	}
 }
 
-// Snapshot returns a copy of all non-zero counters keyed by event name.
-func (t *Counters) Snapshot() map[string]int64 {
+// CounterSet is a flat, allocation-free snapshot of all counters, indexed by
+// Event. It is the hot-path alternative to the map-based Snapshot/Diff.
+type CounterSet [numEvents]int64
+
+// Get returns the snapshot's count for the event.
+func (cs *CounterSet) Get(e Event) int64 { return cs[e] }
+
+// Map converts the non-zero entries to the map form used by reports.
+func (cs *CounterSet) Map() map[string]int64 {
 	out := make(map[string]int64)
-	for i := range t.c {
-		if v := t.c[i].Load(); v != 0 {
+	for i, v := range cs {
+		if v != 0 {
 			out[Event(i).String()] = v
 		}
 	}
 	return out
+}
+
+// Total sums the listed events (all events when none given).
+func (cs *CounterSet) Total(events ...Event) int64 {
+	var sum int64
+	if len(events) == 0 {
+		for _, v := range cs {
+			sum += v
+		}
+		return sum
+	}
+	for _, e := range events {
+		sum += cs[e]
+	}
+	return sum
+}
+
+// SnapshotInto loads every counter into dst without allocating.
+func (t *Counters) SnapshotInto(dst *CounterSet) {
+	for i := range t.c {
+		dst[i] = t.c[i].Load()
+	}
+}
+
+// DiffInto stores the counters accumulated since prev into dst without
+// allocating: dst[i] = current[i] - prev[i].
+func (t *Counters) DiffInto(prev, dst *CounterSet) {
+	for i := range t.c {
+		dst[i] = t.c[i].Load() - prev[i]
+	}
+}
+
+// Snapshot returns a copy of all non-zero counters keyed by event name.
+func (t *Counters) Snapshot() map[string]int64 {
+	var cs CounterSet
+	t.SnapshotInto(&cs)
+	return cs.Map()
 }
 
 // Diff returns counters accumulated since the snapshot prev.
@@ -218,39 +278,188 @@ func (c *Clock) Cycles() int64 { return c.cycles.Load() }
 // Reset zeroes the clock.
 func (c *Clock) Reset() { c.cycles.Store(0) }
 
-// Recorder bundles counters and a clock; the machine carries one and every
-// layer charges events and cycles against it.
+// NoCore marks charges with no specific core (machine-global operations).
+const NoCore = -1
+
+// NoEID is the attribution identity for non-enclave (untrusted) execution.
+const NoEID uint64 = 0
+
+// sink is the enabled-observation state: per-enclave counter sets and the
+// optional event log. A Recorder points at one only while observation is on,
+// so the disabled fast path is a single atomic pointer load.
+type sink struct {
+	perEID sync.Map // uint64 EID -> *Counters
+	log    *EventLog
+}
+
+func (s *sink) counters(eid uint64) *Counters {
+	if c, ok := s.perEID.Load(eid); ok {
+		return c.(*Counters)
+	}
+	c, _ := s.perEID.LoadOrStore(eid, &Counters{})
+	return c.(*Counters)
+}
+
+func (s *sink) record(eid uint64, core int, e Event, cost int64, clock int64, detail uint64) {
+	s.counters(eid).Inc(e)
+	if s.log != nil {
+		s.log.Append(Record{
+			Cycles: clock,
+			Cost:   cost,
+			Core:   int32(core),
+			EID:    eid,
+			Event:  e,
+			Detail: detail,
+		})
+	}
+}
+
+// Recorder bundles counters, a clock, latency histograms, and the optional
+// attribution sink; the machine carries one and every layer charges events
+// and cycles against it.
 type Recorder struct {
 	Counters
 	Clock
+
+	hist [numOps]Histogram
+
+	// sink is non-nil only while observation (per-enclave attribution and
+	// the event log) is enabled.
+	sink atomic.Pointer[sink]
+	// billHint names the enclave to bill for memory-hierarchy charges made
+	// by layers that have no protection context of their own (LLC, MEE).
+	// The access path stores the current enclave here before touching
+	// memory; all such accesses are serialized by the machine lock.
+	billHint atomic.Uint64
 }
 
-// Charge records the event and advances the clock by the given cost.
+// EnableObservation turns on per-enclave attribution, and — when logCapacity
+// is positive — the bounded ring-buffer event log. Charges made while
+// observation is off are counted globally but not attributed.
+func (r *Recorder) EnableObservation(logCapacity int) {
+	s := &sink{}
+	if logCapacity > 0 {
+		s.log = NewEventLog(logCapacity)
+	}
+	r.sink.Store(s)
+}
+
+// DisableObservation returns the recorder to the zero-cost fast path. The
+// accumulated per-enclave counters and event log are dropped.
+func (r *Recorder) DisableObservation() { r.sink.Store(nil) }
+
+// Observing reports whether attribution is currently enabled.
+func (r *Recorder) Observing() bool { return r.sink.Load() != nil }
+
+// Log returns the event log, nil when observation (or the log) is disabled.
+func (r *Recorder) Log() *EventLog {
+	if s := r.sink.Load(); s != nil {
+		return s.log
+	}
+	return nil
+}
+
+// PerEnclave snapshots the per-enclave counters accumulated since
+// EnableObservation, keyed by EID. Empty when observation is disabled.
+func (r *Recorder) PerEnclave() map[uint64]CounterSet {
+	out := make(map[uint64]CounterSet)
+	s := r.sink.Load()
+	if s == nil {
+		return out
+	}
+	s.perEID.Range(func(k, v any) bool {
+		var cs CounterSet
+		v.(*Counters).SnapshotInto(&cs)
+		out[k.(uint64)] = cs
+		return true
+	})
+	return out
+}
+
+// SetBillHint names the enclave subsequent memory-hierarchy charges bill to.
+func (r *Recorder) SetBillHint(eid uint64) { r.billHint.Store(eid) }
+
+// Charge records the event and advances the clock by the given cost without
+// attribution (billed to NoEID).
 func (r *Recorder) Charge(e Event, cycles int64) {
+	r.ChargeTo(NoEID, NoCore, e, cycles)
+}
+
+// ChargeTo records the event, advances the clock, and — when observation is
+// enabled — bills the event to enclave eid on the given core.
+func (r *Recorder) ChargeTo(eid uint64, core int, e Event, cycles int64) {
 	r.Inc(e)
 	r.Advance(cycles)
+	if s := r.sink.Load(); s != nil {
+		s.record(eid, core, e, cycles, r.Cycles(), 0)
+	}
+}
+
+// ChargeToDetail is ChargeTo with an event-specific detail word (a virtual
+// page number, a chunk size, ...) carried into the event log.
+func (r *Recorder) ChargeToDetail(eid uint64, core int, e Event, cycles int64, detail uint64) {
+	r.Inc(e)
+	r.Advance(cycles)
+	if s := r.sink.Load(); s != nil {
+		s.record(eid, core, e, cycles, r.Cycles(), detail)
+	}
+}
+
+// ChargeHint is ChargeTo billed to the enclave named by the last SetBillHint.
+// The memory hierarchy (LLC, MEE) uses it because those layers run below the
+// protection context.
+func (r *Recorder) ChargeHint(e Event, cycles int64) {
+	r.Inc(e)
+	r.Advance(cycles)
+	if s := r.sink.Load(); s != nil {
+		s.record(r.billHint.Load(), NoCore, e, cycles, r.Cycles(), 0)
+	}
+}
+
+// Observe adds one sample to the composite-operation latency histogram.
+func (r *Recorder) Observe(op Op, cycles int64) { r.hist[op].Observe(cycles) }
+
+// Hist returns the histogram for the operation.
+func (r *Recorder) Hist(op Op) *Histogram { return &r.hist[op] }
+
+// HistSnapshots returns snapshots of every histogram with samples, keyed by
+// operation name.
+func (r *Recorder) HistSnapshots() map[string]HistSnapshot {
+	out := make(map[string]HistSnapshot)
+	for op := Op(0); op < numOps; op++ {
+		if snap := r.hist[op].Snapshot(); snap.Count > 0 {
+			out[op.String()] = snap
+		}
+	}
+	return out
 }
 
 // Region is a named measurement scope used by the bench harness to attribute
-// counter deltas to workload phases.
+// counter deltas to workload phases. Regions are independent snapshots over
+// the recorder's atomic counters: concurrent BeginRegion/End calls on
+// different regions (or different recorders) never contend.
 type Region struct {
 	Name  string
-	Start map[string]int64
+	start CounterSet
 	rec   *Recorder
 }
 
-var regionMu sync.Mutex
-
-// BeginRegion snapshots the recorder for later Diff.
+// BeginRegion snapshots the recorder for a later End.
 func (r *Recorder) BeginRegion(name string) *Region {
-	regionMu.Lock()
-	defer regionMu.Unlock()
-	return &Region{Name: name, Start: r.Counters.Snapshot(), rec: r}
+	reg := &Region{Name: name, rec: r}
+	r.Counters.SnapshotInto(&reg.start)
+	return reg
 }
 
-// End returns the counter deltas since the region began.
+// End returns the counter deltas since the region began, in map form.
 func (reg *Region) End() map[string]int64 {
-	regionMu.Lock()
-	defer regionMu.Unlock()
-	return reg.rec.Counters.Diff(reg.Start)
+	var d CounterSet
+	reg.EndInto(&d)
+	return d.Map()
+}
+
+// EndInto stores the counter deltas since the region began into dst without
+// allocating — the hot-path form for per-iteration measurement loops.
+func (reg *Region) EndInto(dst *CounterSet) {
+	reg.rec.Counters.DiffInto(&reg.start, dst)
 }

@@ -1,10 +1,16 @@
 # Build and verification targets. tier1 is the gate the roadmap tracks;
 # tier2 adds vet and the race detector (the observability layer's concurrent
-# ring buffer and histograms are exercised under -race).
+# ring buffer and histograms are exercised under -race, as is the cross-core
+# eviction/shootdown test in internal/core); tier3 is the differential
+# model-checking pass: 5000 randomized schedules against the reference oracle
+# plus a short native-fuzz smoke over the op encoding, access validator, and
+# report codec. See TESTING.md.
 
 GO ?= go
+SIMTEST_SCHEDULES ?= 5000
+FUZZTIME ?= 10s
 
-.PHONY: all build tier1 vet race tier2 bench clean
+.PHONY: all build tier1 vet race tier2 tier3 fuzz-smoke bench clean
 
 all: tier1
 
@@ -22,6 +28,16 @@ race:
 
 tier2:
 	$(GO) vet ./... && $(GO) test -race ./...
+
+tier3:
+	$(GO) vet ./...
+	SIMTEST_SCHEDULES=$(SIMTEST_SCHEDULES) $(GO) test ./internal/simtest -run TestLockstepSchedules -v -count=1
+	$(MAKE) fuzz-smoke
+
+fuzz-smoke:
+	$(GO) test ./internal/simtest -run '^$$' -fuzz '^FuzzScheduleOps$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sgx -run '^$$' -fuzz '^FuzzAccessValidate$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sgx -run '^$$' -fuzz '^FuzzReportParse$$' -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

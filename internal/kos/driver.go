@@ -92,7 +92,7 @@ func (d *Driver) withPressure(s *sgx.SECS, alloc func() (int, error)) (int, erro
 			return page, nil
 		}
 		lastErr = err
-		if d.k.m.EPC.FreePages() > 0 {
+		if d.k.m.FreeEPCPages() > 0 {
 			return 0, err // not a pressure failure
 		}
 		if derr := d.makeRoom(s.EID); derr != nil {
@@ -109,10 +109,18 @@ func (d *Driver) makeRoom(avoid isa.EID) error {
 	m := d.k.m
 	n := m.EPC.NumPages()
 	tryEvict := func(skipAvoid bool) error {
+		resident := make(map[int]sgx.EPCSnapshot, n)
+		for _, s := range m.SnapshotEPCM() {
+			resident[s.Index] = s
+		}
 		for off := 0; off < n; off++ {
 			idx := (d.victimCursor + off) % n
-			ent := m.EPC.Entry(idx)
-			if !ent.Valid || ent.Blocked || ent.Type != isa.PTReg {
+			snap, ok := resident[idx]
+			if !ok {
+				continue
+			}
+			ent := snap.Entry
+			if ent.Blocked || ent.Type != isa.PTReg {
 				continue
 			}
 			if skipAvoid && ent.Owner == avoid {
@@ -170,15 +178,8 @@ func (d *Driver) DestroyEnclave(p *Process, s *sgx.SECS) error {
 // not-present so the next access faults into reloadIfEvicted.
 func (d *Driver) EvictPage(p *Process, s *sgx.SECS, vaddr isa.VAddr) error {
 	m := d.k.m
-	pageIdx := -1
-	for _, i := range m.EPC.PagesOf(s.EID) {
-		ent := m.EPC.Entry(i)
-		if ent.Type == isa.PTReg && ent.Vaddr == vaddr.PageBase() {
-			pageIdx = i
-			break
-		}
-	}
-	if pageIdx < 0 {
+	pageIdx, found := m.FindRegPage(s, vaddr)
+	if !found {
 		return fmt.Errorf("kos: enclave %d has no regular EPC page at %#x", s.EID, uint64(vaddr))
 	}
 	if err := m.EBlock(pageIdx); err != nil {
@@ -226,7 +227,7 @@ func (d *Driver) reloadIfEvicted(c *sgx.Core, f *isa.Fault) bool {
 	// Under EPC pressure the reload itself may need the paging daemon to
 	// make room first.
 	page, err := m.ELDU(blob)
-	for attempt := 0; err != nil && m.EPC.FreePages() == 0 && attempt < 4; attempt++ {
+	for attempt := 0; err != nil && m.FreeEPCPages() == 0 && attempt < 4; attempt++ {
 		if d.makeRoom(blob.Owner) != nil {
 			break
 		}

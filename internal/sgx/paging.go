@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"nestedenclave/internal/epc"
 	"nestedenclave/internal/isa"
 	"nestedenclave/internal/measure"
 	"nestedenclave/internal/trace"
@@ -187,6 +188,51 @@ func (m *Machine) ELDU(blob *EvictedPage) (int, error) {
 	m.Rec.ChargeToDetail(uint64(blob.Owner), trace.NoCore, trace.EvELD, 0, uint64(blob.Vaddr))
 	m.Rec.Observe(trace.OpELD, m.Rec.Cycles()-eldStart)
 	return page, nil
+}
+
+// FindRegPage returns, under the machine lock, the index of the valid
+// regular EPC page of enclave s recorded at vaddr. Kernel code (which runs on
+// its own thread of execution) must use this instead of scanning m.EPC
+// directly, which is only safe while holding the instruction lock.
+func (m *Machine) FindRegPage(s *SECS, vaddr isa.VAddr) (int, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, i := range m.EPC.PagesOf(s.EID) {
+		ent := m.EPC.Entry(i)
+		if ent.Type == isa.PTReg && ent.Vaddr == vaddr.PageBase() {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// SnapshotEPCM returns value copies of every valid EPCM entry with its page
+// index, taken under the machine lock — the kernel's racy-read-free view for
+// victim selection.
+func (m *Machine) SnapshotEPCM() []EPCSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]EPCSnapshot, 0, m.EPC.NumPages())
+	for i := 0; i < m.EPC.NumPages(); i++ {
+		if ent := m.EPC.Entry(i); ent.Valid {
+			out = append(out, EPCSnapshot{Index: i, Entry: *ent})
+		}
+	}
+	return out
+}
+
+// EPCSnapshot is one SnapshotEPCM element: a page index with a copy of its
+// EPCM entry.
+type EPCSnapshot struct {
+	Index int
+	Entry epc.Entry
+}
+
+// FreeEPCPages returns the free-page count under the machine lock.
+func (m *Machine) FreeEPCPages() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.EPC.FreePages()
 }
 
 // auditNoStaleTranslations is a test hook: it walks every TLB and reports

@@ -1,0 +1,48 @@
+package sgx
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file gives REPORT a canonical fixed-length wire encoding. Reports
+// travel between enclaves over untrusted channels (shared memory, the OS), so
+// the decoder is the attack surface: it must accept exactly the byte strings
+// Encode produces and reject everything else, and Parse∘Encode must be the
+// identity so a report's MAC check sees precisely the fields the sender
+// bound. FuzzReportParse in fuzz_test.go drives both properties.
+
+// ReportSize is the exact wire length of an encoded Report:
+// MRENCLAVE (32) + MRSIGNER (32) + Attributes (8, little-endian) +
+// ReportData (64) + TargetMRENCLAVE (32) + MAC (32).
+const ReportSize = 32 + 32 + 8 + 64 + 32 + 32
+
+// Encode serializes the report into its canonical fixed-length layout.
+func (r *Report) Encode() []byte {
+	out := make([]byte, 0, ReportSize)
+	out = append(out, r.MRENCLAVE[:]...)
+	out = append(out, r.MRSIGNER[:]...)
+	out = binary.LittleEndian.AppendUint64(out, r.Attributes)
+	out = append(out, r.ReportData[:]...)
+	out = append(out, r.TargetMRENCLAVE[:]...)
+	out = append(out, r.MAC[:]...)
+	return out
+}
+
+// ParseReport decodes a canonical report. It accepts exactly ReportSize bytes
+// — no prefixes, no trailing data — so every successfully parsed report
+// re-encodes to the identical byte string.
+func ParseReport(data []byte) (*Report, error) {
+	if len(data) != ReportSize {
+		return nil, fmt.Errorf("report: %d bytes, want exactly %d", len(data), ReportSize)
+	}
+	var r Report
+	n := copy(r.MRENCLAVE[:], data)
+	n += copy(r.MRSIGNER[:], data[n:])
+	r.Attributes = binary.LittleEndian.Uint64(data[n:])
+	n += 8
+	n += copy(r.ReportData[:], data[n:])
+	n += copy(r.TargetMRENCLAVE[:], data[n:])
+	copy(r.MAC[:], data[n:])
+	return &r, nil
+}

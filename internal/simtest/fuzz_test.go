@@ -1,0 +1,34 @@
+package simtest
+
+import (
+	"testing"
+)
+
+// FuzzScheduleOps feeds arbitrary bytes through the schedule codec into the
+// lockstep runner: every input decodes to some schedule (the decoder is
+// total), and no schedule may ever diverge machine from oracle or violate a
+// §VII-A invariant. This hands the op-space search to go's coverage-guided
+// fuzzer, which reaches branch combinations the weighted random generator
+// samples only rarely.
+func FuzzScheduleOps(f *testing.F) {
+	// Seed with generator output (typical weighted traffic)...
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(EncodeSchedule(Generate(seed, 24)))
+	}
+	// ...and with the promoted regressions (known-deep paths).
+	for _, s := range regressions {
+		f.Add(EncodeSchedule(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := DecodeSchedule(data)
+		if len(s.Ops) > 128 {
+			s.Ops = s.Ops[:128] // bound runtime per input
+		}
+		r := NewRunner(s.MaxDepth, s.MultiOuter)
+		if step, err := r.Run(s); err != nil {
+			shrunk := Shrink(s, Diverges)
+			t.Fatalf("divergence at op %d: %v\nminimal reproduction:\n%s",
+				step, err, FormatRegression(shrunk))
+		}
+	})
+}

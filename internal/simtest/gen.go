@@ -1,0 +1,72 @@
+package simtest
+
+import "math/rand"
+
+// opWeight biases the generator: accesses dominate (they are where the
+// Figure-6 flow lives), with enough lifecycle, transition, attack and paging
+// traffic that deep states — nested contexts, blocked pages, aliased
+// mappings — are reached within a 64-op schedule.
+var opWeights = []struct {
+	kind   OpKind
+	weight int
+}{
+	{OpBuild, 5},
+	{OpAssociate, 6},
+	{OpEnter, 10},
+	{OpExit, 7},
+	{OpNEnter, 9},
+	{OpNExit, 6},
+	{OpAEX, 3},
+	{OpResume, 4},
+	{OpRead, 16},
+	{OpWrite, 12},
+	{OpFetch, 4},
+	{OpRemap, 8},
+	{OpUnmap, 4},
+	{OpEvict, 9},
+}
+
+var totalWeight = func() int {
+	t := 0
+	for _, w := range opWeights {
+		t += w.weight
+	}
+	return t
+}()
+
+// Generate produces the deterministic schedule for a seed: the nesting
+// configuration (depth bound and the §VIII lattice switch) and n weighted
+// random ops. The same seed always yields the same schedule, which is how
+// failures replay (go test -run TestLockstepSchedules -seed N).
+func Generate(seed int64, n int) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := Schedule{Seed: seed}
+	switch rng.Intn(3) {
+	case 0:
+		s.MaxDepth = 2 // the paper's base two-level model
+	case 1:
+		s.MaxDepth = 3
+	default:
+		s.MaxDepth = 0 // unlimited (§VIII multi-level)
+	}
+	s.MultiOuter = rng.Intn(2) == 1
+	for i := 0; i < n; i++ {
+		pick := rng.Intn(totalWeight)
+		var kind OpKind
+		for _, w := range opWeights {
+			if pick < w.weight {
+				kind = w.kind
+				break
+			}
+			pick -= w.weight
+		}
+		s.Ops = append(s.Ops, Op{
+			Kind: kind,
+			Core: uint8(rng.Intn(machineCores)),
+			Slot: uint8(rng.Intn(NumSlots)),
+			A:    uint8(rng.Intn(256)),
+			B:    uint8(rng.Intn(256)),
+		})
+	}
+	return s
+}

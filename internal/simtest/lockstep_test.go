@@ -1,0 +1,66 @@
+package simtest
+
+import (
+	"flag"
+	"os"
+	"strconv"
+	"testing"
+)
+
+var (
+	flagSeed = flag.Int64("seed", -1,
+		"run exactly one lockstep schedule with this seed (replay a failure)")
+	flagOpsPer = flag.Int("opsper", 64, "ops per generated schedule")
+)
+
+// defaultSchedules reads SIMTEST_SCHEDULES (the knob make tier3 turns up to
+// 5000) and falls back to a count small enough for the ordinary test run.
+func defaultSchedules() int {
+	if s := os.Getenv("SIMTEST_SCHEDULES"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 300
+}
+
+// runSchedule runs one generated schedule; on divergence it shrinks the
+// schedule and fails with a replayable, copy-pasteable reproduction.
+func runSchedule(t *testing.T, seed int64, nOps int) {
+	t.Helper()
+	sched := Generate(seed, nOps)
+	r := NewRunner(sched.MaxDepth, sched.MultiOuter)
+	step, err := r.Run(sched)
+	if err == nil {
+		return
+	}
+	t.Logf("seed %d diverged at op %d/%d: %v", seed, step, len(sched.Ops), err)
+	t.Logf("replay: go test ./internal/simtest -run TestLockstepSchedules -seed %d -opsper %d", seed, nOps)
+	shrunk := Shrink(sched, Diverges)
+	_, serr := NewRunner(shrunk.MaxDepth, shrunk.MultiOuter).Run(shrunk)
+	t.Logf("shrunk to %d ops (divergence: %v); promote to regress_test.go as:\n%s",
+		len(shrunk.Ops), serr, FormatRegression(shrunk))
+	t.Fatalf("machine/oracle divergence (seed %d): %v", seed, err)
+}
+
+// TestLockstepSchedules is the harness's main entry: N seeded random
+// schedules, every step diffed against the oracle and audited against the
+// four invariants. make tier3 runs it with SIMTEST_SCHEDULES=5000.
+func TestLockstepSchedules(t *testing.T) {
+	nOps := *flagOpsPer
+	if *flagSeed >= 0 {
+		runSchedule(t, *flagSeed, nOps)
+		return
+	}
+	n := defaultSchedules()
+	if testing.Short() {
+		n = 50
+	}
+	for seed := 0; seed < n; seed++ {
+		runSchedule(t, int64(seed), nOps)
+		if t.Failed() {
+			return
+		}
+	}
+	t.Logf("%d schedules x %d ops: zero divergence", n, nOps)
+}

@@ -1,0 +1,176 @@
+// Package simtest is the differential model-checking harness: it drives the
+// real machine (internal/sgx + internal/core) and the reference oracle
+// (internal/model) in lockstep through randomized schedules of interleaved
+// enclave operations and diffs every observable — access verdicts, fault
+// classes, per-core protection context, TLB contents, and eviction shootdown
+// sets — after every single step, then re-checks the paper's four §VII-A
+// security invariants on the machine's live TLBs.
+//
+// A schedule is a flat list of small fixed-width operations over a static
+// topology of four enclave slots (two of which have deliberately overlapping
+// ELRANGEs), three unsecure pages, and four cores. Operations address slots,
+// cores and TCSs by index, so any byte string decodes to a runnable schedule
+// — which is what makes the encoding fuzzable with Go's native fuzzer.
+//
+// Failures shrink (see shrink.go) to a minimal reproducing schedule and print
+// as a copy-pasteable Go literal, so the harness continuously mints new
+// regression tests (see regress_test.go and TESTING.md).
+package simtest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpKind enumerates the operations a schedule can contain.
+type OpKind uint8
+
+const (
+	// OpBuild constructs enclave slot Slot end to end (ECREATE, EADDs, EINIT)
+	// and maps its pages. A no-op if the slot is already built.
+	OpBuild OpKind = iota
+	// OpAssociate issues NASSO(inner=slot Slot, outer=slot A%4).
+	OpAssociate
+	// OpEnter issues EENTER on core Core into slot Slot through TCS A%2;
+	// B&1 selects the resume (ocall-return) form.
+	OpEnter
+	// OpExit issues EEXIT on core Core; A&1 selects the TCS-releasing form.
+	OpExit
+	// OpNEnter issues NEENTER on core Core into slot Slot through TCS A%2.
+	OpNEnter
+	// OpNExit issues NEEXIT on core Core.
+	OpNExit
+	// OpAEX delivers an asynchronous exit (interrupt) on core Core.
+	OpAEX
+	// OpResume issues ERESUME on core Core through slot Slot's TCS A%2.
+	OpResume
+	// OpRead reads 8 bytes on core Core at pool address A, offset from B.
+	OpRead
+	// OpWrite writes 8 bytes on core Core at pool address A, offset from B.
+	OpWrite
+	// OpFetch performs an instruction fetch on core Core at pool address A.
+	OpFetch
+	// OpRemap is the kernel remap attack: alias pool vaddr A to physical
+	// frame B in the shared page table.
+	OpRemap
+	// OpUnmap removes (B&1 == 0) or marks not-present (B&1 == 1) the mapping
+	// of pool vaddr A.
+	OpUnmap
+	// OpEvict runs the eviction protocol (EBLOCK, ETRACK, shootdowns, EWB)
+	// on slot Slot's data page A%3 — or reloads it (ELDU) if it is currently
+	// evicted. B&0x80 injects a skipped-shootdown fault: the IPIs are
+	// omitted, and EWB must refuse while stale translations remain.
+	OpEvict
+
+	numOpKinds
+)
+
+var opKindNames = [...]string{
+	"OpBuild", "OpAssociate", "OpEnter", "OpExit", "OpNEnter", "OpNExit",
+	"OpAEX", "OpResume", "OpRead", "OpWrite", "OpFetch", "OpRemap",
+	"OpUnmap", "OpEvict",
+}
+
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Op is one schedule step. The meaning of Core/Slot/A/B depends on Kind; all
+// fields are reduced modulo their domain at execution time, so every value is
+// valid.
+type Op struct {
+	Kind OpKind
+	Core uint8
+	Slot uint8
+	A    uint8
+	B    uint8
+}
+
+func (op Op) String() string {
+	return fmt.Sprintf("%v{c%d s%d a%d b%d}", op.Kind, op.Core, op.Slot, op.A, op.B)
+}
+
+// GoString renders the op as a Go composite literal for regression minting.
+func (op Op) GoString() string {
+	return fmt.Sprintf("{Kind: %v, Core: %d, Slot: %d, A: %d, B: %d}",
+		op.Kind, op.Core, op.Slot, op.A, op.B)
+}
+
+// Schedule is a complete harness input: the nesting configuration plus the
+// operation sequence. Seed records provenance for log messages; replay does
+// not depend on it.
+type Schedule struct {
+	Seed       int64
+	MaxDepth   int
+	MultiOuter bool
+	Ops        []Op
+}
+
+// opBytes is the wire width of one encoded op.
+const opBytes = 5
+
+// EncodeSchedule serializes a schedule into the fuzzable byte encoding:
+// one header byte (bits 0-1 select MaxDepth ∈ {2, 3, 0}, bit 2 selects
+// MultiOuter) followed by 5 bytes per op.
+func EncodeSchedule(s Schedule) []byte {
+	var hdr byte
+	switch s.MaxDepth {
+	case 2:
+		hdr = 0
+	case 3:
+		hdr = 1
+	default:
+		hdr = 2
+	}
+	if s.MultiOuter {
+		hdr |= 4
+	}
+	out := []byte{hdr}
+	for _, op := range s.Ops {
+		out = append(out, byte(op.Kind), op.Core, op.Slot, op.A, op.B)
+	}
+	return out
+}
+
+// DecodeSchedule parses the byte encoding produced by EncodeSchedule.
+// Arbitrary input decodes to a runnable schedule: the op kind is reduced
+// modulo the kind count and a trailing partial op is dropped.
+func DecodeSchedule(data []byte) Schedule {
+	s := Schedule{MaxDepth: 2}
+	if len(data) == 0 {
+		return s
+	}
+	switch data[0] & 3 {
+	case 0:
+		s.MaxDepth = 2
+	case 1:
+		s.MaxDepth = 3
+	default:
+		s.MaxDepth = 0 // unlimited (§VIII multi-level)
+	}
+	s.MultiOuter = data[0]&4 != 0
+	data = data[1:]
+	for len(data) >= opBytes {
+		s.Ops = append(s.Ops, Op{
+			Kind: OpKind(data[0]) % numOpKinds,
+			Core: data[1], Slot: data[2], A: data[3], B: data[4],
+		})
+		data = data[opBytes:]
+	}
+	return s
+}
+
+// FormatRegression renders the schedule as a copy-pasteable Go literal for
+// promotion into the regression table in regress_test.go.
+func FormatRegression(s Schedule) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "{\n\tSeed: %d, MaxDepth: %d, MultiOuter: %v,\n\tOps: []Op{\n", s.Seed, s.MaxDepth, s.MultiOuter)
+	for _, op := range s.Ops {
+		fmt.Fprintf(&b, "\t\t%s,\n", op.GoString())
+	}
+	b.WriteString("\t},\n},")
+	return b.String()
+}

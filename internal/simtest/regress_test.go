@@ -1,0 +1,130 @@
+package simtest
+
+import "testing"
+
+// regressions is the promoted-schedule table. When TestLockstepSchedules (or
+// a fuzzer) finds a divergence, it shrinks the schedule and prints it in
+// exactly this literal form; paste it here so the minimal reproduction runs
+// forever as a fast pinned check. The entries below seed the table with
+// directed schedules covering the deep paths random search found worth
+// shrinking to during development.
+var regressions = []Schedule{
+	// Minimal nested read: outer+inner built and associated, NEENTER, then an
+	// inner access to an outer data page (Figure-6 path B, steps ③④⑤).
+	{
+		Seed: -1, MaxDepth: 2, MultiOuter: false,
+		Ops: []Op{
+			{Kind: OpBuild, Slot: 0},
+			{Kind: OpBuild, Slot: 1},
+			{Kind: OpAssociate, Slot: 1, A: 0},
+			{Kind: OpEnter, Core: 1, Slot: 0},
+			{Kind: OpNEnter, Core: 1, Slot: 1},
+			{Kind: OpRead, Core: 1, A: 0},
+		},
+	},
+	// Shrunk by TestInjectedOuterELRANGEBugCaught (seed 271): an inner write
+	// to an associated outer's data page — the schedule that distinguishes
+	// the flipped step-⑤ branch from the correct one. On the correct machine
+	// it must not diverge.
+	{
+		Seed: 271, MaxDepth: 0, MultiOuter: false,
+		Ops: []Op{
+			{Kind: OpBuild, Core: 1, Slot: 2, A: 131, B: 109},
+			{Kind: OpBuild, Core: 1, Slot: 0, A: 93, B: 150},
+			{Kind: OpAssociate, Core: 2, Slot: 0, A: 154, B: 207},
+			{Kind: OpEnter, Core: 2, Slot: 0, A: 224, B: 210},
+			{Kind: OpWrite, Core: 2, Slot: 1, A: 240, B: 95},
+		},
+	},
+	// Full eviction round trip under a live nested context: the inner core's
+	// outer translation forces the §IV-E shootdown, then ELDU brings the page
+	// back and the re-read revalidates.
+	{
+		Seed: -1, MaxDepth: 2, MultiOuter: false,
+		Ops: []Op{
+			{Kind: OpBuild, Slot: 0},
+			{Kind: OpBuild, Slot: 1},
+			{Kind: OpAssociate, Slot: 1, A: 0},
+			{Kind: OpEnter, Core: 1, Slot: 0},
+			{Kind: OpNEnter, Core: 1, Slot: 1},
+			{Kind: OpRead, Core: 1, A: 0},
+			{Kind: OpEvict, Slot: 0, A: 0},
+			{Kind: OpRead, Core: 1, A: 0}, // evicted: #PF on both sides
+			{Kind: OpEvict, Slot: 0, A: 0}, // reload via ELDU
+			{Kind: OpRead, Core: 1, A: 0},
+		},
+	},
+	// Skipped-shootdown denial followed by recovery — the fault-injection
+	// path as a plain lockstep schedule.
+	{
+		Seed: -1, MaxDepth: 2, MultiOuter: false,
+		Ops: []Op{
+			{Kind: OpBuild, Slot: 0},
+			{Kind: OpEnter, Core: 0, Slot: 0},
+			{Kind: OpRead, Core: 0, A: 0},
+			{Kind: OpEvict, Slot: 0, A: 0, B: 0x80}, // no IPIs: EWB refuses
+			{Kind: OpEvict, Slot: 0, A: 0},          // with IPIs: succeeds
+		},
+	},
+	// ELRANGE overlap: slots 2 and 3 overlap, so this NASSO must be rejected
+	// identically by machine and oracle, and subsequent accesses through the
+	// aliased page table must abort on the EPCM owner check.
+	{
+		Seed: -1, MaxDepth: 2, MultiOuter: false,
+		Ops: []Op{
+			{Kind: OpBuild, Slot: 2},
+			{Kind: OpBuild, Slot: 3},
+			{Kind: OpAssociate, Slot: 3, A: 2}, // overlap: #GP both sides
+			{Kind: OpEnter, Core: 0, Slot: 2},
+			{Kind: OpRead, Core: 0, A: 8},  // slot2 data0: ok
+			{Kind: OpRead, Core: 0, A: 14}, // slot3 data2 vaddr = slot2 tcs vaddr region
+		},
+	},
+	// Multi-outer lattice (§VIII): one inner associated with two outers, the
+	// inner reaching both outers' pages, with depth accounting under
+	// MaxDepth 3.
+	{
+		Seed: -1, MaxDepth: 3, MultiOuter: true,
+		Ops: []Op{
+			{Kind: OpBuild, Slot: 0},
+			{Kind: OpBuild, Slot: 1},
+			{Kind: OpBuild, Slot: 2},
+			{Kind: OpAssociate, Slot: 1, A: 0},
+			{Kind: OpAssociate, Slot: 1, A: 2},
+			{Kind: OpEnter, Core: 2, Slot: 0},
+			{Kind: OpNEnter, Core: 2, Slot: 1},
+			{Kind: OpRead, Core: 2, A: 0}, // outer A data0
+			{Kind: OpRead, Core: 2, A: 8}, // outer B data0
+			{Kind: OpNExit, Core: 2},
+			{Kind: OpExit, Core: 2},
+		},
+	},
+	// AEX / ERESUME interleaving with a nested frame on the stack, plus an
+	// interrupted-context re-entry attempt on another core (TCS busy #GP).
+	{
+		Seed: -1, MaxDepth: 2, MultiOuter: false,
+		Ops: []Op{
+			{Kind: OpBuild, Slot: 0},
+			{Kind: OpBuild, Slot: 1},
+			{Kind: OpAssociate, Slot: 1, A: 0},
+			{Kind: OpEnter, Core: 1, Slot: 0},
+			{Kind: OpNEnter, Core: 1, Slot: 1},
+			{Kind: OpAEX, Core: 1},
+			{Kind: OpEnter, Core: 3, Slot: 0},  // TCS busy: #GP both sides
+			{Kind: OpResume, Core: 1, Slot: 1}, // back into the inner
+			{Kind: OpRead, Core: 1, A: 4},      // inner data0
+			{Kind: OpNExit, Core: 1},
+			{Kind: OpExit, Core: 1},
+		},
+	},
+}
+
+// TestRegressions replays every promoted schedule; none may diverge.
+func TestRegressions(t *testing.T) {
+	for i, s := range regressions {
+		r := NewRunner(s.MaxDepth, s.MultiOuter)
+		if step, err := r.Run(s); err != nil {
+			t.Errorf("regression %d (seed %d) diverged at op %d: %v", i, s.Seed, step, err)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package simtest
+
+// Shrink minimizes a diverging schedule by delta debugging: it repeatedly
+// removes chunks of ops (halving the chunk size down to single ops) as long
+// as the reduced schedule still diverges, then returns the fixed point. The
+// diverges predicate must run the schedule on a fresh runner (and must be
+// true for the input); it is a parameter so fault-injection tests can shrink
+// against a deliberately broken machine.
+func Shrink(s Schedule, diverges func(Schedule) bool) Schedule {
+	ops := append([]Op(nil), s.Ops...)
+	try := func(candidate []Op) bool {
+		c := s
+		c.Ops = candidate
+		return diverges(c)
+	}
+	for size := len(ops) / 2; size >= 1; {
+		removed := false
+		for start := 0; start+size <= len(ops); {
+			candidate := make([]Op, 0, len(ops)-size)
+			candidate = append(candidate, ops[:start]...)
+			candidate = append(candidate, ops[start+size:]...)
+			if try(candidate) {
+				ops = candidate
+				removed = true
+				// Do not advance start: the next chunk slid into place.
+				continue
+			}
+			start += size
+		}
+		if !removed || size == 1 {
+			size /= 2
+		}
+	}
+	s.Ops = ops
+	return s
+}

@@ -63,7 +63,7 @@ func TestParserRobustnessRandom(t *testing.T) {
 		r, err := db.Exec("SELECT v FROM t WHERE id = 1")
 		return err == nil && len(r.Rows) == 1 && r.Rows[0][0].S == "ok"
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: quickRand(t)}); err != nil {
 		t.Error(err)
 	}
 }
@@ -98,7 +98,7 @@ func TestParserRandomTokens(t *testing.T) {
 		}()
 		return !panicked
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500, Rand: quickRand(t)}); err != nil {
 		t.Error(err)
 	}
 }

@@ -4,13 +4,16 @@
 # eviction/shootdown test in internal/core); tier3 is the differential
 # model-checking pass: 5000 randomized schedules against the reference oracle
 # plus a short native-fuzz smoke over the op encoding, access validator, and
-# report codec. See TESTING.md.
+# report codec, plus a chaos-soak smoke (fault injection + self-healing
+# supervision, see `make chaos`). See TESTING.md.
 
 GO ?= go
 SIMTEST_SCHEDULES ?= 5000
 FUZZTIME ?= 10s
+CHAOS_SEED ?= 0xC0FFEE
+CHAOS_OPS ?= 2000
 
-.PHONY: all build tier1 vet race tier2 tier3 fuzz-smoke bench clean
+.PHONY: all build tier1 vet race tier2 tier3 fuzz-smoke chaos chaos-smoke bench clean
 
 all: tier1
 
@@ -33,11 +36,28 @@ tier3:
 	$(GO) vet ./...
 	SIMTEST_SCHEDULES=$(SIMTEST_SCHEDULES) $(GO) test ./internal/simtest -run TestLockstepSchedules -v -count=1
 	$(MAKE) fuzz-smoke
+	$(MAKE) chaos-smoke
 
 fuzz-smoke:
 	$(GO) test ./internal/simtest -run '^$$' -fuzz '^FuzzScheduleOps$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sgx -run '^$$' -fuzz '^FuzzAccessValidate$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sgx -run '^$$' -fuzz '^FuzzReportParse$$' -fuzztime $(FUZZTIME)
+
+# chaos runs the deterministic fault-injection soak: the nested SQL service
+# under DRAM bit flips, EPC-allocation failures, IPC loss/duplication/
+# corruption, interrupt storms, and core stalls, with supervised self-healing
+# recovery. Override CHAOS_SEED/CHAOS_OPS to replay or lengthen a run.
+chaos:
+	$(GO) run ./cmd/repro -chaos -seed $(CHAOS_SEED) -ops $(CHAOS_OPS)
+
+# chaos-smoke is the short soak folded into tier3: ~30 seconds of wall clock
+# spread across several seeds, each run asserting zero data loss and a clean
+# invariant audit.
+chaos-smoke:
+	CHAOS_OPS=2000 $(GO) test ./internal/bench -run 'TestChaosSoak$$' -count=1 -v
+	for seed in 0x1 0x2 0x3; do \
+		$(GO) run ./cmd/repro -chaos -seed $$seed -ops 1500 || exit 1; \
+	done
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -25,7 +25,10 @@ func run() error {
 		}
 		fmt.Printf("=== %s ===\n", model)
 
-		r := bench.NewRig(bench.SmallMachine())
+		r, err := bench.NewRig(bench.SmallMachine())
+		if err != nil {
+			return err
+		}
 		es, err := bench.BuildEchoServer(r, nested, true /* vulnerable OpenSSL build */)
 		if err != nil {
 			return err

@@ -7,6 +7,7 @@
 //	repro -list                # list experiment names
 //	repro -json results/       # also write BENCH_<name>.json snapshots
 //	repro -http :6060          # expose expvar + pprof while running
+//	repro -chaos -seed 7       # fault-injection soak (see TESTING.md)
 //
 // Output is printed as aligned text tables; each carries a note with the
 // paper's reported numbers for comparison. With -json, every experiment
@@ -175,13 +176,45 @@ func writeSnapshot(dir string, snap *bench.ExperimentSnapshot) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
+// runChaos is the -chaos soak mode: the nested SQL service driven under
+// active fault injection with self-healing supervision (see TESTING.md for
+// the knob/replay recipe). Exit status 1 when the soak finds a violation.
+func runChaos(seed uint64, ops int) error {
+	cfg := bench.ChaosConfig{Seed: seed, Ops: ops}
+	fmt.Printf("--- chaos soak: seed %#x, %d ops ---\n", cfg.Seed, cfg.Ops)
+	rep, err := bench.ChaosSoak(cfg)
+	if err != nil {
+		return fmt.Errorf("soak did not complete: %w", err)
+	}
+	fmt.Print(rep)
+	if rep.TotalInjected() == 0 {
+		return fmt.Errorf("injector fired nothing; soak vacuous")
+	}
+	if len(rep.Violations) > 0 {
+		return fmt.Errorf("%d violations", len(rep.Violations))
+	}
+	fmt.Printf("replay with: repro -chaos -seed %#x -ops %d\n", cfg.Seed, cfg.Ops)
+	return nil
+}
+
 func main() {
 	full := flag.Bool("full", false, "run at the paper's scale (slow; fig10 needs several GB of RAM)")
 	only := flag.String("only", "", "comma-separated experiment names (default: all)")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	jsonDir := flag.String("json", "", "directory to write per-experiment BENCH_<name>.json snapshots")
 	httpAddr := flag.String("http", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address")
+	chaosMode := flag.Bool("chaos", false, "run the fault-injection soak instead of the experiments")
+	chaosSeed := flag.Uint64("seed", 0xC0FFEE, "chaos soak: injector seed (same seed replays the same run)")
+	chaosOps := flag.Int("ops", 1000, "chaos soak: number of YCSB operations")
 	flag.Parse()
+
+	if *chaosMode {
+		if err := runChaos(*chaosSeed, *chaosOps); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *httpAddr != "" {
 		bench.PublishExpvar()

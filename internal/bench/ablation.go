@@ -35,7 +35,10 @@ func AblationTransitionPath(iters int) (*AblationTransitionResult, error) {
 	if iters <= 0 {
 		iters = 20_000
 	}
-	r := NewRig(SmallMachine())
+	r, err := NewRig(SmallMachine())
+	if err != nil {
+		return nil, err
+	}
 	outerImg := sdk.NewImage("ab-outer", 0x2000_0000, sdk.DefaultLayout())
 	innerImg := sdk.NewImage("ab-inner", 0x1000_0000, sdk.DefaultLayout())
 	outerImg.AllowOCall("detour")
@@ -114,7 +117,10 @@ func AblationShootdown(n int) (*AblationShootdownResult, error) {
 	}
 	res := &AblationShootdownResult{Evictions: n}
 	for _, broadcast := range []bool{false, true} {
-		r := NewRig(SmallMachine())
+		r, err := NewRig(SmallMachine())
+		if err != nil {
+			return nil, err
+		}
 		if broadcast {
 			r.M.Tracker = sgx.BroadcastTracker{}
 		}
@@ -176,7 +182,10 @@ func AblationTLBFlush(iters int) (*AblationTLBFlushResult, error) {
 	if iters <= 0 {
 		iters = 5_000
 	}
-	r := NewRig(SmallMachine())
+	r, err := NewRig(SmallMachine())
+	if err != nil {
+		return nil, err
+	}
 	outerImg := sdk.NewImage("tf-outer", 0x2000_0000, sdk.DefaultLayout())
 	innerImg := sdk.NewImage("tf-inner", 0x1000_0000, sdk.DefaultLayout())
 	innerImg.RegisterECall("touch", func(env *sdk.Env, args []byte) ([]byte, error) {
@@ -246,7 +255,10 @@ func AblationNestingDepth(depths []int) ([]AblationDepthRow, error) {
 	}
 	var rows []AblationDepthRow
 	for _, depth := range depths {
-		m := sgx.MustNew(SmallMachine())
+		m, err := sgx.New(SmallMachine())
+		if err != nil {
+			return nil, err
+		}
 		ext := core.Enable(m, core.Config{}) // unlimited depth
 		k := kos.New(m)
 		host := sdk.NewHost(k, ext)

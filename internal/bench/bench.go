@@ -39,15 +39,18 @@ type Rig struct {
 
 // NewRig boots a nested-enabled machine with the given machine config
 // (zero-value: the default i7-7700-like machine).
-func NewRig(cfg sgx.Config) *Rig {
+func NewRig(cfg sgx.Config) (*Rig, error) {
 	if cfg.Cores == 0 {
 		cfg = sgx.DefaultConfig()
 	}
-	m := sgx.MustNew(cfg)
+	m, err := sgx.New(cfg)
+	if err != nil {
+		return nil, err
+	}
 	ext := core.Enable(m, core.TwoLevel())
 	k := kos.New(m)
 	registerRecorder(m.Rec)
-	return &Rig{M: m, K: k, Ext: ext, Host: sdk.NewHost(k, ext)}
+	return &Rig{M: m, K: k, Ext: ext, Host: sdk.NewHost(k, ext)}, nil
 }
 
 // SignPair signs an inner/outer image pair with mutual expected

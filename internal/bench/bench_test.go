@@ -290,7 +290,10 @@ func TestEchoServerHeartbeatBenign(t *testing.T) {
 	// The patched (non-vulnerable) server still answers benign heartbeats
 	// in both builds.
 	for _, nested := range []bool{false, true} {
-		r := NewRig(SmallMachine())
+		r, err := NewRig(SmallMachine())
+		if err != nil {
+			t.Fatal(err)
+		}
 		es, err := BuildEchoServer(r, nested, false)
 		if err != nil {
 			t.Fatal(err)

@@ -186,7 +186,10 @@ func registerGCMPump(img *sdk.Image, key [16]byte, rec *trace.Recorder) {
 
 // figure11MEE measures the outer-memory channel, returning cycles consumed.
 func figure11MEE(footprint, chunk, count int) (int64, error) {
-	r := NewRig(figure11Machine(footprint >> 20))
+	r, err := NewRig(figure11Machine(footprint >> 20))
+	if err != nil {
+		return 0, err
+	}
 	heapPages := footprint/isa.PageSize + 8
 	outerImg := sdk.NewImage("ch-outer", 0x40_0000_0000, sdk.Layout{CodePages: 2, DataPages: 2, HeapPages: heapPages, NumTCS: 2})
 	prodImg := sdk.NewImage("producer", 0x1000_0000, sdk.DefaultLayout())
@@ -245,7 +248,10 @@ func runPump(prod, cons *sdk.Enclave, base isa.VAddr, footprint, stride, count i
 
 // figure11GCM measures the untrusted-memory + AES-GCM channel.
 func figure11GCM(footprint, chunk, count int) (int64, error) {
-	r := NewRig(figure11Machine(footprint >> 20))
+	r, err := NewRig(figure11Machine(footprint >> 20))
+	if err != nil {
+		return 0, err
+	}
 	key := [16]byte{9}
 	prodImg := sdk.NewImage("producer", 0x1000_0000, sdk.DefaultLayout())
 	consImg := sdk.NewImage("consumer", 0x5000_0000, sdk.DefaultLayout())

@@ -219,7 +219,10 @@ func Figure7(chunks []int, msgs int) ([]Figure7Row, error) {
 	for _, chunk := range chunks {
 		row := Figure7Row{ChunkBytes: chunk}
 		for _, nested := range []bool{false, true} {
-			r := NewRig(SmallMachine())
+			r, err := NewRig(SmallMachine())
+			if err != nil {
+				return nil, err
+			}
 			es, err := BuildEchoServer(r, nested, false)
 			if err != nil {
 				return nil, err

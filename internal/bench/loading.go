@@ -121,7 +121,10 @@ func Figure10(cfg Figure10Config) ([]Figure10Row, error) {
 	// Baseline 1: N SSL enclaves + N App enclaves, all separate.
 	{
 		reclaim()
-		r := NewRig(figure10Machine(cfg))
+		r, err := NewRig(figure10Machine(cfg))
+		if err != nil {
+			return nil, err
+		}
 		author := measure.MustNewAuthor()
 		start := time.Now()
 		for i := 0; i < cfg.Apps; i++ {
@@ -143,7 +146,10 @@ func Figure10(cfg Figure10Config) ([]Figure10Row, error) {
 	// Baseline 2: N combined (SSL+App) enclaves — the current practice.
 	{
 		reclaim()
-		r := NewRig(figure10Machine(cfg))
+		r, err := NewRig(figure10Machine(cfg))
+		if err != nil {
+			return nil, err
+		}
 		author := measure.MustNewAuthor()
 		start := time.Now()
 		for i := 0; i < cfg.Apps; i++ {
@@ -170,7 +176,10 @@ func Figure10(cfg Figure10Config) ([]Figure10Row, error) {
 			continue
 		}
 		reclaim()
-		r := NewRig(figure10Machine(cfg))
+		r, err := NewRig(figure10Machine(cfg))
+		if err != nil {
+			return nil, err
+		}
 		author := measure.MustNewAuthor()
 
 		sslImgs := make([]*sdk.Image, outers)

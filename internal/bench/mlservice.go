@@ -253,7 +253,10 @@ func Figure9(scale float64) ([]Figure9Row, error) {
 		d := datasets.Generate(spec.Scale(scale), 42)
 		row := Figure9Row{Dataset: spec.Name}
 		for _, nested := range []bool{false, true} {
-			r := NewRig(SmallMachine())
+			r, err := NewRig(SmallMachine())
+			if err != nil {
+				return nil, err
+			}
 			ms, err := BuildMLService(r, nested)
 			if err != nil {
 				return nil, err

@@ -53,7 +53,10 @@ func TableVII() ([]TableVIIRow, error) {
 func heartbleedAttack() (*TableVIIRow, error) {
 	secret := []byte("HEARTBLEED-TARGET-PRIVATE-KEY-0xFEEDFACE")
 	leakFrom := func(nested bool) ([]byte, error) {
-		r := NewRig(SmallMachine())
+		r, err := NewRig(SmallMachine())
+		if err != nil {
+			return nil, err
+		}
 		es, err := BuildEchoServer(r, nested, true /* vulnerable */)
 		if err != nil {
 			return nil, err
@@ -105,7 +108,10 @@ func heartbleedAttack() (*TableVIIRow, error) {
 func libraryReadAttack() (*TableVIIRow, error) {
 	private := []byte("RAW-PRIVATE-FEATURES-BEFORE-FILTERING")
 	probe := func(nested bool) (bool, error) {
-		r := NewRig(SmallMachine())
+		r, err := NewRig(SmallMachine())
+		if err != nil {
+			return false, err
+		}
 		ms, err := BuildMLService(r, nested)
 		if err != nil {
 			return false, err
@@ -143,7 +149,10 @@ func libraryReadAttack() (*TableVIIRow, error) {
 // certificate-check attack), and eavesdrops on everything it routes.
 func ipcControlAttack() (*TableVIIRow, error) {
 	// Baseline: GCM channel over OS IPC.
-	baseR := NewRig(SmallMachine())
+	baseR, err := NewRig(SmallMachine())
+	if err != nil {
+		return nil, err
+	}
 	key := [16]byte{5}
 	baseR.K.IPC.SetAdversary("verify", &kos.IPCAdversary{
 		DropIf: func(p []byte) bool { return true }, // drop the init call
@@ -165,7 +174,10 @@ func ipcControlAttack() (*TableVIIRow, error) {
 
 	// Nested: the same exchange through the outer-enclave channel. The OS
 	// has no interposition point: it can neither see nor drop the message.
-	nestR := NewRig(SmallMachine())
+	nestR, err := NewRig(SmallMachine())
+	if err != nil {
+		return nil, err
+	}
 	es, err := buildChannelPair(nestR)
 	if err != nil {
 		return nil, err

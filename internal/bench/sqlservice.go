@@ -48,13 +48,15 @@ func (s *SQLService) initCrypto() {
 	}
 }
 
-// encryptText seals a text value deterministically under the per-client key
-// (deterministic so WHERE equality on encrypted fields keeps working — the
-// standard searchable-deterministic-encryption trade-off).
-func (s *SQLService) encryptText(pt string) string {
-	nonce := make([]byte, s.aead.NonceSize())
-	return hex.EncodeToString(s.aead.Seal(nil, nonce, []byte(pt), nil))
+// encryptTextDet seals a text value deterministically under the per-client
+// key (deterministic so WHERE equality on encrypted fields keeps working —
+// the standard searchable-deterministic-encryption trade-off).
+func encryptTextDet(aead cipher.AEAD, pt string) string {
+	nonce := make([]byte, aead.NonceSize())
+	return hex.EncodeToString(aead.Seal(nil, nonce, []byte(pt), nil))
 }
+
+func (s *SQLService) encryptText(pt string) string { return encryptTextDet(s.aead, pt) }
 
 func (s *SQLService) decryptText(ct string) (string, error) {
 	raw, err := hex.DecodeString(ct)
@@ -69,9 +71,9 @@ func (s *SQLService) decryptText(ct string) (string, error) {
 	return string(pt), nil
 }
 
-// rewriteQuery parses the SQL and encrypts every text literal — the inner
-// enclave's "parse the queries and encrypt data" step.
-func (s *SQLService) rewriteQuery(sql string) (string, error) {
+// rewriteEncrypted parses the SQL and encrypts every text literal — the
+// inner enclave's "parse the queries and encrypt data" step.
+func rewriteEncrypted(aead cipher.AEAD, sql string) (string, error) {
 	st, err := sqldb.Parse(sql)
 	if err != nil {
 		return "", err
@@ -80,28 +82,32 @@ func (s *SQLService) rewriteQuery(sql string) (string, error) {
 	case *sqldb.InsertStmt:
 		for i, v := range q.Vals {
 			if v.Kind == sqldb.KText {
-				q.Vals[i] = sqldb.Text(s.encryptText(v.S))
+				q.Vals[i] = sqldb.Text(encryptTextDet(aead, v.S))
 			}
 		}
 	case *sqldb.UpdateStmt:
 		for i := range q.Sets {
 			if q.Sets[i].Val.Kind == sqldb.KText {
-				q.Sets[i].Val = sqldb.Text(s.encryptText(q.Sets[i].Val.S))
+				q.Sets[i].Val = sqldb.Text(encryptTextDet(aead, q.Sets[i].Val.S))
 			}
 		}
 		for i := range q.Where {
 			if q.Where[i].Val.Kind == sqldb.KText {
-				q.Where[i].Val = sqldb.Text(s.encryptText(q.Where[i].Val.S))
+				q.Where[i].Val = sqldb.Text(encryptTextDet(aead, q.Where[i].Val.S))
 			}
 		}
 	case *sqldb.SelectStmt:
 		for i := range q.Where {
 			if q.Where[i].Val.Kind == sqldb.KText {
-				q.Where[i].Val = sqldb.Text(s.encryptText(q.Where[i].Val.S))
+				q.Where[i].Val = sqldb.Text(encryptTextDet(aead, q.Where[i].Val.S))
 			}
 		}
 	}
 	return sqldb.FormatStmt(st)
+}
+
+func (s *SQLService) rewriteQuery(sql string) (string, error) {
+	return rewriteEncrypted(s.aead, sql)
 }
 
 // execAndRender runs a query on the engine and flattens the result.
@@ -196,7 +202,10 @@ func TableVI(cfg ycsb.Config) ([]TableVIRow, error) {
 		w := ycsb.Generate(mix, cfg)
 		row := TableVIRow{Workload: mix.Name}
 		for _, nested := range []bool{false, true} {
-			r := NewRig(SmallMachine())
+			r, err := NewRig(SmallMachine())
+			if err != nil {
+				return nil, err
+			}
 			s, err := BuildSQLService(r, nested)
 			if err != nil {
 				return nil, err

@@ -29,7 +29,10 @@ func TableII(iters int) (*TableIIResult, error) {
 	if iters <= 0 {
 		iters = 100_000
 	}
-	r := NewRig(SmallMachine())
+	r, err := NewRig(SmallMachine())
+	if err != nil {
+		return nil, err
+	}
 	res := &TableIIResult{Iterations: iters}
 
 	// Model-derived hardware latencies. The NEENTER/NEEXIT pair undercuts

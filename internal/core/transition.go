@@ -32,6 +32,9 @@ func (e *Extension) NEENTER(c *sgx.Core, target *sgx.SECS, tcsVaddr isa.VAddr) e
 		if target == nil || !target.Initialized {
 			return isa.GP("NEENTER: destination enclave does not exist or is uninitialized")
 		}
+		if e.m.PoisonedLocked(target.EID) {
+			return isa.MC("NEENTER: enclave %d poisoned", target.EID)
+		}
 		if !cur.Nested.HasInner(target.EID) && !cur.Nested.HasOuter(target.EID) {
 			return isa.GP("NEENTER: enclave %d is not associated with %d", target.EID, cur.EID)
 		}

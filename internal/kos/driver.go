@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"nestedenclave/internal/chaos"
 	"nestedenclave/internal/isa"
 	"nestedenclave/internal/measure"
 	"nestedenclave/internal/sgx"
@@ -81,9 +82,20 @@ func (d *Driver) AugPage(p *Process, s *sgx.SECS, vaddr isa.VAddr, perms isa.Per
 	return nil
 }
 
+// ErrEPCPressure marks an EPC allocation that failed under memory pressure.
+// It is transient: the caller can retry after backoff (resident pages get
+// evicted in the meantime). errors.Is(err, chaos.ErrTransient) holds.
+var ErrEPCPressure = fmt.Errorf("kos: EPC pressure: %w", chaos.ErrTransient)
+
 // withPressure runs an EPC allocation, letting the paging daemon evict
 // victim pages and retry when the EPC is exhausted.
 func (d *Driver) withPressure(s *sgx.SECS, alloc func() (int, error)) (int, error) {
+	// An injected allocation failure fails the ioctl outright — no
+	// driver-internal retry — so recovery is observable at the SDK's retry
+	// layer rather than silently self-healing here.
+	if err := d.k.chaos.FireErr(chaos.SiteEPCAlloc, true); err != nil {
+		return 0, fmt.Errorf("kos: EPC allocation failed: %w", err)
+	}
 	const maxAttempts = 8
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
@@ -99,7 +111,7 @@ func (d *Driver) withPressure(s *sgx.SECS, alloc func() (int, error)) (int, erro
 			return 0, fmt.Errorf("kos: EPC exhausted and paging daemon failed: %v (alloc: %w)", derr, err)
 		}
 	}
-	return 0, fmt.Errorf("kos: EPC allocation failed after paging: %w", lastErr)
+	return 0, fmt.Errorf("kos: EPC allocation failed after paging: %v: %w", lastErr, ErrEPCPressure)
 }
 
 // makeRoom is the paging daemon: it picks a resident regular page (rotating

@@ -2,6 +2,8 @@ package kos
 
 import (
 	"sync"
+
+	"nestedenclave/internal/chaos"
 )
 
 // IPCService is the OS-provided inter-process/inter-enclave message channel
@@ -82,6 +84,21 @@ func (s *IPCService) Send(channel string, payload []byte) {
 			if len(log) >= 2 {
 				cp = append([]byte(nil), log[len(log)-2].Payload...)
 			}
+		}
+	}
+	// Runtime fault injection: the unreliable-transport behaviours real IPC
+	// exhibits under load. These compose with (and run after) the adversary,
+	// which models deliberate attacks.
+	if inj := s.k.chaos; inj != nil {
+		if inj.Fire(chaos.SiteIPCDrop) {
+			return
+		}
+		if inj.Fire(chaos.SiteIPCCorrupt) && len(cp) > 0 {
+			bit := inj.Rand(uint64(len(cp) * 8))
+			cp[bit/8] ^= 1 << (bit % 8)
+		}
+		if inj.Fire(chaos.SiteIPCDup) {
+			s.queues[channel] = append(s.queues[channel], Message{Payload: append([]byte(nil), cp...)})
 		}
 	}
 	s.queues[channel] = append(s.queues[channel], Message{Payload: cp})

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 
+	"nestedenclave/internal/chaos"
 	"nestedenclave/internal/isa"
 	"nestedenclave/internal/pt"
 	"nestedenclave/internal/sgx"
@@ -30,6 +31,17 @@ type Kernel struct {
 
 	Driver *Driver
 	IPC    *IPCService
+
+	// chaos, when set, injects kernel-level faults: EPC-allocation
+	// failures in the driver and drop/duplicate/corrupt in the IPC
+	// router. Install with SetChaos before driving workloads.
+	chaos *chaos.Injector
+}
+
+// SetChaos installs (or, with nil, removes) the runtime fault injector on
+// the kernel's hook points. Must be called before workloads start.
+func (k *Kernel) SetChaos(inj *chaos.Injector) {
+	k.chaos = inj
 }
 
 // New boots a kernel on the machine: builds the frame allocator over

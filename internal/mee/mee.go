@@ -30,6 +30,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"nestedenclave/internal/chaos"
 	"nestedenclave/internal/isa"
 	"nestedenclave/internal/phys"
 	"nestedenclave/internal/trace"
@@ -52,24 +53,45 @@ type Engine struct {
 	// Enabled can be cleared to model a machine without memory encryption
 	// (plaintext PRM), used by tests that contrast physical attacks.
 	Enabled bool
+
+	// Chaos, when set, injects DRAM bit flips into protected lines as they
+	// are fetched — before integrity verification, so every flip surfaces
+	// as a detected machine check, never silent corruption.
+	Chaos *chaos.Injector
+
+	// Poison, when set, is called with the physical address of a line that
+	// failed integrity verification, letting the machine contain the fault
+	// to the owning enclave instead of aborting. Called on the memory
+	// path, i.e. under the machine lock.
+	Poison func(p isa.PAddr)
 }
 
 // New builds an engine over the DRAM with a fresh random platform key.
 // rec may be nil.
-func New(mem *phys.Memory, rec *trace.Recorder) *Engine {
+func New(mem *phys.Memory, rec *trace.Recorder) (*Engine, error) {
 	key := make([]byte, 16)
 	if _, err := rand.Read(key); err != nil {
-		panic(fmt.Sprintf("mee: key generation: %v", err))
+		return nil, fmt.Errorf("mee: key generation: %w", err)
 	}
 	block, err := aes.NewCipher(key)
 	if err != nil {
-		panic(fmt.Sprintf("mee: cipher: %v", err))
+		return nil, fmt.Errorf("mee: cipher: %w", err)
 	}
 	aead, err := cipher.NewGCM(block)
 	if err != nil {
-		panic(fmt.Sprintf("mee: gcm: %v", err))
+		return nil, fmt.Errorf("mee: gcm: %w", err)
 	}
-	return &Engine{mem: mem, rec: rec, aead: aead, meta: make(map[uint64]*lineMeta), Enabled: true}
+	return &Engine{mem: mem, rec: rec, aead: aead, meta: make(map[uint64]*lineMeta), Enabled: true}, nil
+}
+
+// MustNew is New panicking on error, for tests and fixed-configuration
+// callers where key-generation failure is unrecoverable anyway.
+func MustNew(mem *phys.Memory, rec *trace.Recorder) *Engine {
+	e, err := New(mem, rec)
+	if err != nil {
+		panic(err)
+	}
+	return e
 }
 
 // charge bills MEE line work to the enclave the access path named via
@@ -142,9 +164,20 @@ func (e *Engine) ReadLine(p isa.PAddr) ([]byte, error) {
 	ct := make([]byte, 0, isa.LineSize+16)
 	ct = append(ct, raw...)
 	ct = append(ct, m.tag[:]...)
+	if e.Chaos.Fire(chaos.SiteDRAMBitFlip) {
+		// A disturbance hit this line while it sat in DRAM. Flipping the
+		// ciphertext (only on PRM lines, only before Open) guarantees the
+		// integrity check catches it — the fault is always detected, never
+		// silent corruption.
+		bit := e.Chaos.Rand(uint64(isa.LineSize * 8))
+		ct[bit/8] ^= 1 << (bit % 8)
+	}
 	pt, err := e.aead.Open(nil, e.nonce(idx, m.version), ct, nil)
 	if err != nil {
 		e.charge(trace.EvFaultMC, 0)
+		if e.Poison != nil {
+			e.Poison(p)
+		}
 		return nil, isa.MC("MEE integrity failure on line %#x", uint64(p))
 	}
 	e.charge(trace.EvMEEDecrypt, trace.CostMEELine)

@@ -17,7 +17,7 @@ func layout() phys.Layout {
 func newEngine() (*Engine, *phys.Memory, *trace.Recorder) {
 	mem := phys.MustNew(layout())
 	rec := &trace.Recorder{}
-	return New(mem, rec), mem, rec
+	return MustNew(mem, rec), mem, rec
 }
 
 func line(fill byte) []byte { return bytes.Repeat([]byte{fill}, isa.LineSize) }

@@ -92,12 +92,30 @@ func (e *Enclave) releaseTCS(v isa.VAddr) { e.tcsFree <- v }
 
 // ECall invokes a trusted entry point from the untrusted host: acquire a
 // core and a TCS, EENTER, run the function inside the enclave, EEXIT.
+// A panic in the trusted code does not escape: the crash is contained
+// (registers and saved state scrubbed, enclave poisoned) and surfaced as a
+// typed *EnclaveCrashed error.
 func (e *Enclave) ECall(name string, args []byte) ([]byte, error) {
+	return e.eCall(name, args, 0)
+}
+
+// ECallWithin is ECall with a budget of simulated cycles: when the call
+// exceeds it, the enclave is preempted with a real AEX + ERESUME round trip
+// and every subsequent trusted-runtime operation fails with *CallTimeout,
+// forcing the call to unwind.
+func (e *Enclave) ECallWithin(name string, args []byte, budget int64) ([]byte, error) {
+	return e.eCall(name, args, budget)
+}
+
+func (e *Enclave) eCall(name string, args []byte, budget int64) ([]byte, error) {
 	fn, ok := e.img.ECalls[name]
 	if !ok {
 		return nil, fmt.Errorf("sdk: enclave %s has no ecall %q", e.img.Name, name)
 	}
-	c := e.host.acquireCore()
+	c, err := e.host.acquireCore()
+	if err != nil {
+		return nil, err
+	}
 	defer e.host.releaseCore(c)
 	tcsV := e.claimTCS()
 	defer e.releaseTCS(tcsV)
@@ -112,17 +130,58 @@ func (e *Enclave) ECall(name string, args []byte) ([]byte, error) {
 		return nil, err
 	}
 	env := &Env{E: e, C: c, tcsV: tcsV}
-	out, ferr := fn(env, marshalled)
+	if budget > 0 {
+		env.deadline = callStart + budget
+		env.budget = budget
+	}
+	out, ferr := runTrusted(env, name, fn, marshalled)
 	// The tRTS scrubs the register file before leaving the enclave.
 	c.Regs.Scrub()
+	if !c.InEnclave() {
+		// The core was evacuated mid-call: either the panic containment
+		// above ran EmergencyExit, or an injected interrupt storm failed to
+		// resume a poisoned enclave. Scrub the stranded TCS so the slot is
+		// reusable after the enclave is rebuilt.
+		if t, terr := e.secs.FindTCS(tcsV); terr == nil {
+			m.ScrubTCS(t)
+		}
+		m.Rec.Observe(trace.OpECall, m.Rec.Cycles()-callStart)
+		if ferr == nil {
+			ferr = fmt.Errorf("sdk: enclave evacuated mid-call")
+		}
+		if _, isCrash := IsCrash(ferr); isCrash {
+			return nil, ferr
+		}
+		return nil, &EnclaveError{Enclave: e.img.Name, Call: name, Err: ferr}
+	}
 	if err := m.EExit(c, true); err != nil {
 		return nil, err
 	}
 	m.Rec.Observe(trace.OpECall, m.Rec.Cycles()-callStart)
 	if ferr != nil {
+		if _, isCrash := IsCrash(ferr); isCrash {
+			return nil, ferr
+		}
 		return nil, &EnclaveError{Enclave: e.img.Name, Call: name, Err: ferr}
 	}
 	return append([]byte(nil), out...), nil
+}
+
+// runTrusted runs a trusted function with panic containment: a panic inside
+// the enclave poisons it, force-evacuates the core (scrubbing registers and
+// every suspended frame of the nested chain, so no secrets survive), and
+// converts the crash into a typed error.
+func runTrusted(env *Env, call string, fn TrustedFunc, args []byte) (out []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m := env.E.host.K.Machine()
+			eid := env.E.secs.EID
+			m.PoisonEnclave(eid, fmt.Sprintf("trusted code panic in %s: %v", call, r))
+			m.EmergencyExit(env.C)
+			out, err = nil, &EnclaveCrashed{Enclave: env.E.img.Name, Call: call, EID: eid, Panic: r}
+		}
+	}()
+	return fn(env, args)
 }
 
 // EnclaveError marks failures raised by enclave code (as opposed to

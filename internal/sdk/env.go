@@ -23,6 +23,42 @@ type Env struct {
 	C *sgx.Core
 
 	tcsV isa.VAddr
+
+	// deadline is the absolute simulated-cycle bound of the enclosing call
+	// (ECallWithin), 0 = unbounded; budget is the original allowance, kept
+	// for the error message. Inherited by nested-call environments.
+	deadline int64
+	budget   int64
+	// expired latches once the deadline fires: the first expiry delivers a
+	// real AEX + ERESUME preemption, later checks fail fast.
+	expired bool
+}
+
+// preempt enforces the call deadline at every trusted-runtime operation.
+// The first time the budget is exceeded, the enclave is preempted with a
+// real AEX (context saved and scrubbed, TLB flushed) and ERESUMEd so the
+// trusted code observes the timeout error; from then on every operation
+// fails with the same *CallTimeout until the call unwinds.
+func (env *Env) preempt() error {
+	if env.deadline == 0 {
+		return nil
+	}
+	if !env.expired {
+		m := env.E.host.K.Machine()
+		if m.Rec.Cycles() < env.deadline {
+			return nil
+		}
+		env.expired = true
+		if env.C.InEnclave() {
+			t := env.C.CurrentTCS()
+			if err := m.AEX(env.C); err == nil {
+				if err := m.EResume(env.C, t); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return &CallTimeout{Enclave: env.E.img.Name, Budget: env.budget}
 }
 
 // --- Memory ---
@@ -30,14 +66,27 @@ type Env struct {
 // Read reads n bytes of (virtual) memory through the access-validated path.
 // Reads of memory this enclave may not see return 0xFF bytes (abort-page
 // semantics), exactly like the hardware.
-func (env *Env) Read(v isa.VAddr, n int) ([]byte, error) { return env.C.Read(v, n) }
+func (env *Env) Read(v isa.VAddr, n int) ([]byte, error) {
+	if err := env.preempt(); err != nil {
+		return nil, err
+	}
+	return env.C.Read(v, n)
+}
 
 // Write stores b at v through the access-validated path. Writes to memory
 // this enclave may not touch are silently dropped.
-func (env *Env) Write(v isa.VAddr, b []byte) error { return env.C.Write(v, b) }
+func (env *Env) Write(v isa.VAddr, b []byte) error {
+	if err := env.preempt(); err != nil {
+		return err
+	}
+	return env.C.Write(v, b)
+}
 
 // Malloc allocates n bytes on the enclave's trusted heap.
 func (env *Env) Malloc(n int) (isa.VAddr, error) {
+	if err := env.preempt(); err != nil {
+		return 0, err
+	}
 	h := env.E.Heap()
 	env.E.mu.Lock()
 	defer env.E.mu.Unlock()
@@ -57,6 +106,9 @@ func (env *Env) Free(v isa.VAddr) error {
 // OCall leaves the enclave to run a registered untrusted host function, then
 // re-enters. The EDL must whitelist the function.
 func (env *Env) OCall(name string, args []byte) ([]byte, error) {
+	if err := env.preempt(); err != nil {
+		return nil, err
+	}
 	if !env.E.img.AllowedOCalls[name] {
 		return nil, fmt.Errorf("sdk: ocall %q not in enclave %s's EDL", name, env.E.img.Name)
 	}
@@ -89,6 +141,9 @@ func (env *Env) OCall(name string, args []byte) ([]byte, error) {
 // function runs with the inner enclave's environment; on return NEEXIT
 // restores this enclave's context.
 func (env *Env) NECall(inner *Enclave, name string, args []byte) ([]byte, error) {
+	if err := env.preempt(); err != nil {
+		return nil, err
+	}
 	ext := env.E.host.Ext
 	if ext == nil {
 		return nil, fmt.Errorf("sdk: machine has no nested-enclave support")
@@ -106,8 +161,14 @@ func (env *Env) NECall(inner *Enclave, name string, args []byte) ([]byte, error)
 	if err := ext.NEENTER(env.C, inner.secs, tcsV); err != nil {
 		return nil, err
 	}
-	innerEnv := &Env{E: inner, C: env.C, tcsV: tcsV}
-	out, ferr := fn(innerEnv, marshalled)
+	// The nested environment inherits the enclosing call's deadline.
+	innerEnv := &Env{E: inner, C: env.C, tcsV: tcsV, deadline: env.deadline, budget: env.budget, expired: env.expired}
+	out, ferr := runNested(innerEnv, name, fn, marshalled)
+	if _, crashed := IsCrash(ferr); crashed {
+		// The inner crashed; runNested already popped back to this frame
+		// (or evacuated the core). Surface the typed error to the caller.
+		return nil, ferr
+	}
 	if err := ext.NEEXIT(env.C); err != nil {
 		return nil, err
 	}
@@ -118,11 +179,39 @@ func (env *Env) NECall(inner *Enclave, name string, args []byte) ([]byte, error)
 	return append([]byte(nil), out...), nil
 }
 
+// runNested runs a trusted function at a nested-transition boundary with
+// panic containment: a panic poisons the executing (inner or outer) enclave
+// and — when a suspended caller frame exists — NEEXITs back to it, which
+// scrubs the register file so no crashed-enclave state leaks into the
+// caller. Without a frame to return to, the core is force-evacuated.
+func runNested(env *Env, call string, fn TrustedFunc, args []byte) (out []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m := env.E.host.K.Machine()
+			eid := env.E.secs.EID
+			m.PoisonEnclave(eid, fmt.Sprintf("trusted code panic in %s: %v", call, r))
+			ext := env.E.host.Ext
+			if t := env.C.CurrentTCS(); t != nil && t.Ret() && ext != nil {
+				if nerr := ext.NEEXIT(env.C); nerr != nil {
+					m.EmergencyExit(env.C)
+				}
+			} else {
+				m.EmergencyExit(env.C)
+			}
+			out, err = nil, &EnclaveCrashed{Enclave: env.E.img.Name, Call: call, EID: eid, Panic: r}
+		}
+	}()
+	return fn(env, args)
+}
+
 // NOCall invokes a function the outer enclave exposes to its inners via
 // NEEXIT/NEENTER — the inner→outer call path with ordinary procedure-call
 // syntax ("an application in an inner enclave can call library functions
 // isolated in the outer enclave").
 func (env *Env) NOCall(name string, args []byte) ([]byte, error) {
+	if err := env.preempt(); err != nil {
+		return nil, err
+	}
 	ext := env.E.host.Ext
 	if ext == nil {
 		return nil, fmt.Errorf("sdk: machine has no nested-enclave support")
@@ -157,8 +246,13 @@ func (env *Env) NOCall(name string, args []byte) ([]byte, error) {
 			return nil, err
 		}
 		outerTCS := env.C.CurrentTCS()
-		outerEnv := &Env{E: outer, C: env.C, tcsV: outerTCS.Vaddr}
-		out, ferr := fn(outerEnv, marshalled)
+		outerEnv := &Env{E: outer, C: env.C, tcsV: outerTCS.Vaddr, deadline: env.deadline, budget: env.budget, expired: env.expired}
+		out, ferr := runNested(outerEnv, name, fn, marshalled)
+		if _, crashed := IsCrash(ferr); crashed {
+			// The outer crashed while serving this call; there is no frame
+			// to NEENTER back through (runNested evacuated the core).
+			return nil, ferr
+		}
 		// ...then NEENTER back into this inner enclave on the same TCS.
 		if err := ext.NEENTER(env.C, env.E.secs, env.tcsV); err != nil {
 			return nil, err
@@ -179,8 +273,12 @@ func (env *Env) NOCall(name string, args []byte) ([]byte, error) {
 	if err := ext.NEENTER(env.C, outer.secs, outerTCSV); err != nil {
 		return nil, err
 	}
-	outerEnv := &Env{E: outer, C: env.C, tcsV: outerTCSV}
-	out, ferr := fn(outerEnv, marshalled)
+	outerEnv := &Env{E: outer, C: env.C, tcsV: outerTCSV, deadline: env.deadline, budget: env.budget, expired: env.expired}
+	out, ferr := runNested(outerEnv, name, fn, marshalled)
+	if _, crashed := IsCrash(ferr); crashed {
+		// The outer crashed; runNested already NEEXITed back to this inner.
+		return nil, ferr
+	}
 	if err := ext.NEEXIT(env.C); err != nil {
 		return nil, err
 	}

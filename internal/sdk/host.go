@@ -57,17 +57,18 @@ func (h *Host) ocall(name string) (HostFunc, bool) {
 }
 
 // acquireCore takes a core from the pool and installs the host's address
-// space on it if needed.
-func (h *Host) acquireCore() *sgx.Core {
+// space on it if needed. A scheduling failure returns the core to the pool
+// and propagates the error through the calling ecall.
+func (h *Host) acquireCore() (*sgx.Core, error) {
 	c := <-h.cores
 	if c.PT != h.Proc.PageTable() {
 		// Context switch: new CR3, TLB flush.
 		if err := h.K.Schedule(c, h.Proc); err != nil {
 			h.cores <- c
-			panic(fmt.Sprintf("sdk: schedule: %v", err))
+			return nil, fmt.Errorf("sdk: schedule: %w", err)
 		}
 	}
-	return c
+	return c, nil
 }
 
 func (h *Host) releaseCore(c *sgx.Core) { h.cores <- c }
@@ -128,7 +129,35 @@ func (h *Host) Associate(inner, outer *Enclave) error {
 	return nil
 }
 
-// Destroy tears the enclave down.
+// Destroy tears the enclave down and unlinks its SDK association handles in
+// both directions, so a partner enclave that later restarts the pair does
+// not route n_ecalls through a stale handle. (The machine-level
+// associations die with the SECS at EREMOVE; this mirrors that for the SDK
+// routing state.)
 func (h *Host) Destroy(e *Enclave) error {
+	e.mu.Lock()
+	outers, inners := e.outers, e.inners
+	e.outers, e.inners = nil, nil
+	e.mu.Unlock()
+	for _, o := range outers {
+		o.mu.Lock()
+		o.inners = removeHandle(o.inners, e)
+		o.mu.Unlock()
+	}
+	for _, i := range inners {
+		i.mu.Lock()
+		i.outers = removeHandle(i.outers, e)
+		i.mu.Unlock()
+	}
 	return h.K.Driver.DestroyEnclave(h.Proc, e.secs)
+}
+
+func removeHandle(list []*Enclave, e *Enclave) []*Enclave {
+	out := list[:0]
+	for _, x := range list {
+		if x != e {
+			out = append(out, x)
+		}
+	}
+	return out
 }

@@ -1,0 +1,290 @@
+package sdk_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"nestedenclave/internal/chaos"
+	"nestedenclave/internal/core"
+	"nestedenclave/internal/kos"
+	"nestedenclave/internal/measure"
+	"nestedenclave/internal/sdk"
+	"nestedenclave/internal/sgx"
+)
+
+// --- Panic containment ---
+
+func TestECallPanicContained(t *testing.T) {
+	r := newRig(t, core.TwoLevel())
+	img := sdk.NewImage("crashy", 0x1000_0000, sdk.DefaultLayout())
+	img.RegisterECall("boom", func(env *sdk.Env, args []byte) ([]byte, error) {
+		panic("trusted bug")
+	})
+	img.RegisterECall("ok", func(env *sdk.Env, args []byte) ([]byte, error) {
+		return []byte("fine"), nil
+	})
+	e := mustLoad(t, r.host, img.Sign(measure.MustNewAuthor(), nil, nil))
+
+	_, err := e.ECall("boom", nil)
+	ec, ok := sdk.IsCrash(err)
+	if !ok {
+		t.Fatalf("want *EnclaveCrashed, got %v", err)
+	}
+	if ec.EID != e.SECS().EID || !strings.Contains(fmt.Sprint(ec.Panic), "trusted bug") {
+		t.Fatalf("crash = %+v", ec)
+	}
+
+	// The crash must not leak enclave state: every core is out of enclave
+	// mode with scrubbed registers, and the machine invariants hold.
+	if v := r.m.AuditInvariants(); len(v) > 0 {
+		t.Fatalf("invariants violated after contained crash: %v", v)
+	}
+
+	// The poisoned enclave refuses further entries...
+	if _, err := e.ECall("ok", nil); err == nil {
+		t.Fatal("poisoned enclave accepted a new ecall")
+	}
+	reason, poisoned := r.m.PoisonedReason(e.SECS().EID)
+	if !poisoned || !strings.Contains(reason, "panic") {
+		t.Fatalf("poison state = %q, %v", reason, poisoned)
+	}
+
+	// ...until it is destroyed (EREMOVE clears the mark) and reloaded.
+	if err := r.host.Destroy(e); err != nil {
+		t.Fatal(err)
+	}
+	e2 := mustLoad(t, r.host, img.Sign(measure.MustNewAuthor(), nil, nil))
+	out, err := e2.ECall("ok", nil)
+	if err != nil || string(out) != "fine" {
+		t.Fatalf("reloaded enclave: %q, %v", out, err)
+	}
+}
+
+func TestNestedPanicPoisonsOnlyCrashedEnclave(t *testing.T) {
+	r := newRig(t, core.TwoLevel())
+	outerImg := sdk.NewImage("outer", 0x2000_0000, sdk.DefaultLayout())
+	outerImg.RegisterNOCall("svc", func(env *sdk.Env, args []byte) ([]byte, error) {
+		panic("outer service bug")
+	})
+	innerImg := sdk.NewImage("inner", 0x1000_0000, sdk.DefaultLayout())
+	innerImg.RegisterECall("run", func(env *sdk.Env, args []byte) ([]byte, error) {
+		return env.NOCall("svc", args)
+	})
+	innerImg.RegisterECall("ok", func(env *sdk.Env, args []byte) ([]byte, error) {
+		return []byte("alive"), nil
+	})
+	si, so := signPair(t, innerImg, outerImg)
+	outer := mustLoad(t, r.host, so)
+	inner := mustLoad(t, r.host, si)
+	if err := r.host.Associate(inner, outer); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := inner.ECall("run", nil)
+	ec, ok := sdk.IsCrash(err)
+	if !ok || ec.EID != outer.SECS().EID {
+		t.Fatalf("want outer crash, got %v", err)
+	}
+	// The outer is poisoned; the inner survives and keeps serving.
+	if _, poisoned := r.m.PoisonedReason(outer.SECS().EID); !poisoned {
+		t.Fatal("outer not poisoned")
+	}
+	if _, poisoned := r.m.PoisonedReason(inner.SECS().EID); poisoned {
+		t.Fatal("inner wrongly poisoned by outer's crash")
+	}
+	out, err := inner.ECall("ok", nil)
+	if err != nil || string(out) != "alive" {
+		t.Fatalf("inner after outer crash: %q, %v", out, err)
+	}
+	if v := r.m.AuditInvariants(); len(v) > 0 {
+		t.Fatalf("invariants violated: %v", v)
+	}
+}
+
+// --- Deadlines ---
+
+func TestECallWithinDeadline(t *testing.T) {
+	r := newRig(t, core.TwoLevel())
+	img := sdk.NewImage("slow", 0x1000_0000, sdk.DefaultLayout())
+	img.RegisterECall("spin", func(env *sdk.Env, args []byte) ([]byte, error) {
+		// A loop of trusted-runtime operations: the preemption hook on each
+		// one observes the expired budget and fails the call.
+		buf, err := env.Malloc(64)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < 1_000_000; i++ {
+			if err := env.Write(buf, make([]byte, 64)); err != nil {
+				return nil, err
+			}
+		}
+		return []byte("done"), nil
+	})
+	e := mustLoad(t, r.host, img.Sign(measure.MustNewAuthor(), nil, nil))
+
+	_, err := e.ECallWithin("spin", nil, 50_000)
+	var to *sdk.CallTimeout
+	if !errors.As(err, &to) {
+		t.Fatalf("want *CallTimeout, got %v", err)
+	}
+	if to.Budget != 50_000 {
+		t.Fatalf("timeout = %+v", to)
+	}
+	// A timeout is a clean unwind, not a crash: the enclave stays usable.
+	if _, poisoned := r.m.PoisonedReason(e.SECS().EID); poisoned {
+		t.Fatal("timeout poisoned the enclave")
+	}
+	if v := r.m.AuditInvariants(); len(v) > 0 {
+		t.Fatalf("invariants violated after timeout: %v", v)
+	}
+}
+
+// --- Retry policy ---
+
+func TestRetryPolicyRetriesTransientsOnly(t *testing.T) {
+	r := newRig(t, core.TwoLevel())
+	calls := 0
+	err := sdk.RetryPolicy{MaxAttempts: 5}.Run(r.m.Rec, nil, func() error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("flaky: %w", chaos.ErrTransient)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("transient retry: calls=%d err=%v", calls, err)
+	}
+
+	calls = 0
+	permanent := errors.New("permanent")
+	err = sdk.RetryPolicy{MaxAttempts: 5}.Run(r.m.Rec, nil, func() error {
+		calls++
+		return permanent
+	})
+	if !errors.Is(err, permanent) || calls != 1 {
+		t.Fatalf("permanent error retried: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestRetryPolicyBackoffAdvancesSimulatedClock(t *testing.T) {
+	r := newRig(t, core.TwoLevel())
+	before := r.m.Rec.Cycles()
+	_ = sdk.RetryPolicy{MaxAttempts: 3, BaseBackoff: 10_000}.Run(r.m.Rec, nil, func() error {
+		return fmt.Errorf("always: %w", chaos.ErrTransient)
+	})
+	if got := r.m.Rec.Cycles() - before; got < 30_000 {
+		t.Fatalf("backoff advanced only %d cycles", got)
+	}
+}
+
+// --- EPC pressure as a transient fault ---
+
+func TestEPCPressureIsTransient(t *testing.T) {
+	if !errors.Is(kos.ErrEPCPressure, chaos.ErrTransient) {
+		t.Fatal("EPC pressure not classified transient")
+	}
+}
+
+// --- Supervisor: restart with sealed-state recovery ---
+
+func TestSupervisorRestartRecoversSealedState(t *testing.T) {
+	r := newRig(t, core.TwoLevel())
+
+	// A stateful counter service, keyed by EID so a reloaded instance starts
+	// from zero unless the sealed checkpoint is replayed into it.
+	counts := map[uint64]int{}
+	img := sdk.NewImage("counter", 0x1000_0000, sdk.DefaultLayout())
+	img.RegisterECall("incr", func(env *sdk.Env, args []byte) ([]byte, error) {
+		eid := uint64(env.E.SECS().EID)
+		counts[eid]++
+		sealed, err := env.Seal(sgx.SealToEnclave, []byte{byte(counts[eid])})
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte{byte(counts[eid])}, sealed...), nil
+	})
+	img.RegisterECall("restore", func(env *sdk.Env, args []byte) ([]byte, error) {
+		pt, err := env.Unseal(sgx.SealToEnclave, args)
+		if err != nil {
+			return nil, err
+		}
+		counts[uint64(env.E.SECS().EID)] = int(pt[0])
+		return nil, nil
+	})
+	img.RegisterECall("crash", func(env *sdk.Env, args []byte) ([]byte, error) {
+		panic("induced")
+	})
+
+	sup, err := sdk.Supervise(r.host, img.Sign(measure.MustNewAuthor(), nil, nil), sdk.SupervisorConfig{
+		RestoreECall: "restore",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		out, err := sup.Call("incr", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(out[0]) != i {
+			t.Fatalf("count = %d, want %d", out[0], i)
+		}
+		sup.Checkpoint(out[1:])
+	}
+	firstEID := sup.Enclave().SECS().EID
+
+	// Crash it. Crashed() must recognize the wreckage and Restart must bring
+	// up a fresh instance with the counter restored from the sealed blob.
+	_, cerr := sup.Enclave().ECall("crash", nil)
+	if !sup.Crashed(cerr) {
+		t.Fatalf("crash not recognized: %v", cerr)
+	}
+	if err := sup.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if sup.Restarts() != 1 {
+		t.Fatalf("restarts = %d", sup.Restarts())
+	}
+	if sup.Enclave().SECS().EID == firstEID {
+		t.Fatal("restart did not produce a fresh instance")
+	}
+	out, err := sup.Call("incr", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(out[0]) != 4 {
+		t.Fatalf("after recovery count = %d, want 4 (sealed state lost)", out[0])
+	}
+}
+
+func TestSupervisorCallRestartsThroughCrashes(t *testing.T) {
+	r := newRig(t, core.TwoLevel())
+	crashuntil := 2 // the first N calls crash
+	calls := 0
+	img := sdk.NewImage("wobbly", 0x1000_0000, sdk.DefaultLayout())
+	img.RegisterECall("work", func(env *sdk.Env, args []byte) ([]byte, error) {
+		calls++
+		if calls <= crashuntil {
+			panic("still warming up")
+		}
+		return []byte("ok"), nil
+	})
+	sup, err := sdk.Supervise(r.host, img.Sign(measure.MustNewAuthor(), nil, nil), sdk.SupervisorConfig{
+		Retry: sdk.RetryPolicy{MaxAttempts: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sup.Call("work", nil)
+	if err != nil || string(out) != "ok" {
+		t.Fatalf("call = %q, %v", out, err)
+	}
+	if sup.Restarts() != 2 {
+		t.Fatalf("restarts = %d, want 2", sup.Restarts())
+	}
+	if v := r.m.AuditInvariants(); len(v) > 0 {
+		t.Fatalf("invariants violated: %v", v)
+	}
+}

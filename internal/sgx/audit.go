@@ -1,0 +1,51 @@
+package sgx
+
+import (
+	"fmt"
+
+	"nestedenclave/internal/isa"
+)
+
+// AuditInvariants checks Costan & Devadas' security invariants 1–3 (paper
+// §VII-A) over every core's TLB against the current protection state, and
+// returns one message per violation (empty = clean). It is the product-level
+// version of the audit the differential-test harness runs per step; the
+// chaos soak calls it after a fault-injection campaign to prove the machine
+// ended in a sound state.
+func (m *Machine) AuditInvariants() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for _, c := range m.cores {
+		var cur *SECS
+		if c.inEnclave {
+			cur = c.cur
+		}
+		for _, e := range c.TLB.Entries() {
+			pa := isa.PAddr(e.PPN << isa.PageShift)
+			v := isa.VAddr(e.VPN << isa.PageShift)
+			inPRM := m.DRAM.PageInPRM(pa)
+			if cur == nil {
+				if inPRM {
+					out = append(out, fmt.Sprintf("inv1: core %d maps %#x -> PRM outside enclave mode", c.ID, uint64(v)))
+				}
+				continue
+			}
+			if !cur.ContainsVPN(e.VPN) {
+				if inPRM {
+					out = append(out, fmt.Sprintf("inv2: core %d out-of-ELRANGE %#x maps to PRM", c.ID, uint64(v)))
+				}
+				continue
+			}
+			if !inPRM {
+				out = append(out, fmt.Sprintf("inv3: core %d ELRANGE %#x maps outside PRM", c.ID, uint64(v)))
+				continue
+			}
+			ent, ok := m.EPC.EntryAt(pa)
+			if !ok || !ent.Valid || ent.Owner != cur.EID || ent.Vaddr != v {
+				out = append(out, fmt.Sprintf("inv3: core %d %#x maps through foreign/mismatched EPCM entry", c.ID, uint64(v)))
+			}
+		}
+	}
+	return out
+}

@@ -16,32 +16,8 @@ import (
 // behaviour that nested enclave claims to leave intact.
 
 func auditBaseline(m *sgx.Machine) error {
-	for _, c := range m.Cores() {
-		cur := c.Current()
-		for _, e := range c.TLB.Entries() {
-			pa := isa.PAddr(e.PPN << isa.PageShift)
-			v := isa.VAddr(e.VPN << isa.PageShift)
-			inPRM := m.DRAM.PageInPRM(pa)
-			if cur == nil {
-				if inPRM {
-					return fmt.Errorf("inv1: core %d maps %#x -> PRM outside enclave mode", c.ID, uint64(v))
-				}
-				continue
-			}
-			if !cur.ContainsVPN(e.VPN) {
-				if inPRM {
-					return fmt.Errorf("inv2: out-of-ELRANGE %#x maps to PRM", uint64(v))
-				}
-				continue
-			}
-			if !inPRM {
-				return fmt.Errorf("inv3: ELRANGE %#x maps outside PRM", uint64(v))
-			}
-			ent, ok := m.EPC.EntryAt(pa)
-			if !ok || !ent.Valid || ent.Owner != cur.EID || ent.Vaddr != v {
-				return fmt.Errorf("inv3: %#x maps through foreign/mismatched EPCM entry", uint64(v))
-			}
-		}
+	if v := m.AuditInvariants(); len(v) > 0 {
+		return fmt.Errorf("%s", v[0])
 	}
 	return nil
 }

@@ -203,6 +203,9 @@ func (m *Machine) ERemove(page int) error {
 			}
 		}
 		delete(m.secsByEID, owner)
+		// Removing the SECS clears the poison mark: the identity can be
+		// rebuilt from the image by a fresh ECREATE.
+		delete(m.poisoned, owner)
 	}
 	// Scrub the page: drop cached lines without writeback, forget the MEE
 	// metadata, zero the DRAM ciphertext. Order matters — a writeback after

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"nestedenclave/internal/cache"
+	"nestedenclave/internal/chaos"
 	"nestedenclave/internal/epc"
 	"nestedenclave/internal/isa"
 	"nestedenclave/internal/mee"
@@ -107,6 +108,17 @@ type Machine struct {
 	// Version-array state for EPC paging freshness (see paging.go).
 	vaSlots    map[uint64]bool
 	vaSlotNext uint64
+
+	// Chaos, when set, injects runtime faults at the machine's hook points
+	// (AEX storms, core stalls). Install with SetChaos before driving
+	// workloads; the field is read without the machine lock.
+	Chaos *chaos.Injector
+
+	// poisoned marks enclaves whose protected memory failed MEE integrity
+	// verification (or whose trusted code crashed): entry and resumption
+	// are refused with a machine-check fault until the enclave is removed.
+	// Guarded by mu.
+	poisoned map[isa.EID]string
 }
 
 // New builds a machine with the baseline SGX validator and tracker.
@@ -119,7 +131,10 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := mee.New(dram, rec)
+	eng, err := mee.New(dram, rec)
+	if err != nil {
+		return nil, err
+	}
 	eng.Enabled = !cfg.DisableMEE
 	llc, err := cache.New(cfg.LLC, eng, rec)
 	if err != nil {
@@ -139,6 +154,17 @@ func New(cfg Config) (*Machine, error) {
 		secsByEID:      make(map[isa.EID]*SECS),
 		nextEID:        1,
 		platformSecret: secret,
+		poisoned:       make(map[isa.EID]string),
+	}
+	// An MEE integrity failure is contained to the enclave owning the
+	// tampered line: real hardware drops-and-locks the whole package, but
+	// for the robustness story we model the finer-grained machine-check
+	// containment (poison the owner, refuse re-entry, let the host EREMOVE
+	// and restart it).
+	eng.Poison = func(p isa.PAddr) {
+		if ent, ok := m.EPC.EntryAt(p); ok && ent.Owner != 0 {
+			m.poisonLocked(ent.Owner, fmt.Sprintf("MEE integrity failure at %#x", uint64(p)))
+		}
 	}
 	m.Validator = BaselineValidator{}
 	m.Tracker = BaselineTracker{}

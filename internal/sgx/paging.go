@@ -34,17 +34,17 @@ type EvictedPage struct {
 }
 
 // pagingAEAD builds the AEAD under the platform paging key.
-func (m *Machine) pagingAEAD() cipher.AEAD {
+func (m *Machine) pagingAEAD() (cipher.AEAD, error) {
 	key := measure.DeriveKey(m.platformSecret, measure.KeySeal, measure.Digest{}, measure.Digest{}, []byte("epc-paging"))
 	block, err := aes.NewCipher(key[:])
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("sgx: paging cipher: %w", err)
 	}
 	aead, err := cipher.NewGCM(block)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("sgx: paging gcm: %w", err)
 	}
-	return aead
+	return aead, nil
 }
 
 func pagingNonce(slot uint64) []byte {
@@ -140,7 +140,11 @@ func (m *Machine) EWB(page int) (*EvictedPage, error) {
 	m.vaSlotNext++
 	slot := m.vaSlotNext
 	blob := &EvictedPage{Owner: ent.Owner, Vaddr: ent.Vaddr, Type: ent.Type, Perms: ent.Perms, Slot: slot}
-	blob.Cipher = m.pagingAEAD().Seal(nil, pagingNonce(slot), content, blob.aad())
+	aead, err := m.pagingAEAD()
+	if err != nil {
+		return nil, err
+	}
+	blob.Cipher = aead.Seal(nil, pagingNonce(slot), content, blob.aad())
 	if m.vaSlots == nil {
 		m.vaSlots = make(map[uint64]bool)
 	}
@@ -167,7 +171,11 @@ func (m *Machine) ELDU(blob *EvictedPage) (int, error) {
 	if !m.vaSlots[blob.Slot] {
 		return 0, isa.GP("ELDU: version slot %d invalid or already consumed (replay?)", blob.Slot)
 	}
-	content, err := m.pagingAEAD().Open(nil, pagingNonce(blob.Slot), blob.Cipher, blob.aad())
+	aead, err := m.pagingAEAD()
+	if err != nil {
+		return 0, err
+	}
+	content, err := aead.Open(nil, pagingNonce(blob.Slot), blob.Cipher, blob.aad())
 	if err != nil {
 		return 0, isa.GP("ELDU: integrity check failed: %v", err)
 	}

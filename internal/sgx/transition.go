@@ -30,6 +30,9 @@ func (m *Machine) EEnter(c *Core, s *SECS, tcsVaddr isa.VAddr, resume bool) erro
 	if s == nil || !s.Initialized {
 		return isa.GP("EENTER: enclave not initialized")
 	}
+	if reason, ok := m.poisoned[s.EID]; ok {
+		return isa.MC("EENTER: enclave %d poisoned: %s", s.EID, reason)
+	}
 	t, err := s.FindTCS(tcsVaddr)
 	if err != nil {
 		return isa.GP("EENTER: %v", err)
@@ -131,6 +134,11 @@ func (m *Machine) EResume(c *Core, t *TCS) error {
 	}
 	if t.ssa == nil {
 		return isa.GP("ERESUME: TCS has no saved state")
+	}
+	// Refuse to resume a poisoned enclave *before* consuming the saved
+	// state, so the caller can still EmergencyExit/ScrubTCS cleanly.
+	if reason, ok := m.poisoned[t.ssa.cur.EID]; ok {
+		return isa.MC("ERESUME: enclave %d poisoned: %s", t.ssa.cur.EID, reason)
 	}
 	f := t.ssa
 	t.ssa = nil

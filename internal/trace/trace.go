@@ -65,6 +65,11 @@ const (
 	EvELD // EPC page reloaded
 	EvIPI // inter-processor interrupt (TLB shootdown)
 
+	// Runtime fault injection (package chaos). The detail word of these
+	// records carries the fault site.
+	EvChaosInject  // a fault was injected
+	EvChaosRecover // an injected fault was recovered (retry/retransmit/restart)
+
 	numEvents
 )
 
@@ -97,6 +102,8 @@ var eventNames = [...]string{
 	EvEWB:            "ewb",
 	EvELD:            "eld",
 	EvIPI:            "ipi",
+	EvChaosInject:    "chaos_inject",
+	EvChaosRecover:   "chaos_recover",
 }
 
 func (e Event) String() string {

@@ -124,8 +124,19 @@ type System struct {
 }
 
 // NewSystem boots a simulator with the given options (pass none for the
-// defaults).
+// defaults). It panics if the machine configuration is invalid; use
+// NewSystemErr to handle that as an error.
 func NewSystem(opts ...Options) *System {
+	s, err := NewSystemErr(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewSystemErr is NewSystem returning configuration errors instead of
+// panicking.
+func NewSystemErr(opts ...Options) (*System, error) {
 	var o Options
 	if len(opts) > 0 {
 		o = opts[0]
@@ -134,7 +145,10 @@ func NewSystem(opts ...Options) *System {
 	if mc.Cores == 0 {
 		mc = sgx.DefaultConfig()
 	}
-	m := sgx.MustNew(mc)
+	m, err := sgx.New(mc)
+	if err != nil {
+		return nil, err
+	}
 	var ext *Extension
 	if !o.DisableNesting {
 		nc := o.Nesting
@@ -144,7 +158,7 @@ func NewSystem(opts ...Options) *System {
 		ext = core.Enable(m, nc)
 	}
 	k := kos.New(m)
-	return &System{Machine: m, Kernel: k, Ext: ext, Host: sdk.NewHost(k, ext)}
+	return &System{Machine: m, Kernel: k, Ext: ext, Host: sdk.NewHost(k, ext)}, nil
 }
 
 // Load builds and initializes an enclave in the system's host process.

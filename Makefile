@@ -1,11 +1,12 @@
 # Build and verification targets. tier1 is the gate the roadmap tracks;
-# tier2 adds vet and the race detector (the observability layer's concurrent
-# ring buffer and histograms are exercised under -race, as is the cross-core
-# eviction/shootdown test in internal/core); tier3 is the differential
-# model-checking pass: 5000 randomized schedules against the reference oracle
-# plus a short native-fuzz smoke over the op encoding, access validator, and
-# report codec, plus a chaos-soak smoke (fault injection + self-healing
-# supervision, see `make chaos`). See TESTING.md.
+# tier2 adds vet, gofmt, the house static-analysis suite (nescheck, see
+# DESIGN.md "Static analysis"), and the race detector (the observability
+# layer's concurrent ring buffer and histograms are exercised under -race, as
+# is the cross-core eviction/shootdown test in internal/core); tier3 is the
+# differential model-checking pass: 5000 randomized schedules against the
+# reference oracle plus a short native-fuzz smoke over the op encoding,
+# access validator, and report codec, plus a chaos-soak smoke (fault
+# injection + self-healing supervision, see `make chaos`). See TESTING.md.
 
 GO ?= go
 SIMTEST_SCHEDULES ?= 5000
@@ -13,7 +14,7 @@ FUZZTIME ?= 10s
 CHAOS_SEED ?= 0xC0FFEE
 CHAOS_OPS ?= 2000
 
-.PHONY: all build tier1 vet race tier2 tier3 fuzz-smoke chaos chaos-smoke bench clean
+.PHONY: all build tier1 vet lint fmt-check race tier2 tier3 fuzz-smoke chaos chaos-smoke bench clean
 
 all: tier1
 
@@ -26,11 +27,23 @@ tier1:
 vet:
 	$(GO) vet ./...
 
+# lint runs nescheck, the house static-analysis suite: five analyzers
+# (determinism, boundary, lockorder, attribution, errcheck) that enforce the
+# simulator's own invariants at compile time. `go run ./cmd/nescheck -rules`
+# prints the catalog; suppress a finding with //nescheck:allow <rule> <reason>.
+lint:
+	$(GO) run ./cmd/nescheck ./...
+
+# fmt-check fails (listing the offenders) when any tracked Go file is not
+# gofmt-clean; it never rewrites files.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 race:
 	$(GO) test -race ./...
 
-tier2:
-	$(GO) vet ./... && $(GO) test -race ./...
+tier2: vet fmt-check lint
+	$(GO) test -race ./...
 
 tier3:
 	$(GO) vet ./...

@@ -46,7 +46,7 @@ func BenchmarkTableIII_PortedLOC(b *testing.B) {
 // BenchmarkTableVI_SQLiteYCSB runs the four YCSB mixes (paper Table VI).
 func BenchmarkTableVI_SQLiteYCSB(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.TableVI(ycsb.Config{Records: 500, Operations: 2000, FieldLen: 100, Seed: 1})
+		rows, err := bench.TableVI(ycsb.Config{Records: 500, Operations: 2000, FieldLen: 100}, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -81,7 +81,10 @@ func demoWorkload(sys *ne.System, iters int) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		defer env.Free(buf)
+		// Free on unwind; a failed free of a trusted-heap scratch buffer is
+		// not actionable mid-ecall, so discard explicitly (errcheck-lite
+		// flags silent `defer env.Free(buf)` discards).
+		defer func() { _ = env.Free(buf) }()
 		if err := env.Write(buf, args); err != nil {
 			return nil, err
 		}

@@ -69,7 +69,7 @@ func experiments() []experiment {
 			if !full {
 				cfg.Operations = 3000
 			}
-			rows, err := bench.TableVI(cfg)
+			rows, err := bench.TableVI(cfg, 1)
 			if err != nil {
 				return err
 			}
@@ -264,6 +264,7 @@ func main() {
 		}
 		fmt.Printf("--- %s: %s ---\n", e.name, e.desc)
 		bench.BeginExperiment(e.name)
+		//nescheck:allow determinism experiment snapshots record host wall time alongside simulated cycles
 		start := time.Now()
 		err := e.run(*full)
 		snap := bench.EndExperiment()
@@ -273,6 +274,7 @@ func main() {
 			continue
 		}
 		if snap != nil {
+			//nescheck:allow determinism experiment snapshots record host wall time alongside simulated cycles
 			snap.WallMS = float64(time.Since(start).Microseconds()) / 1e3
 			if *jsonDir != "" {
 				if werr := writeSnapshot(*jsonDir, snap); werr != nil {

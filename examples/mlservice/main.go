@@ -18,6 +18,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"log"
+	"math/rand"
 
 	ne "nestedenclave"
 	"nestedenclave/internal/datasets"
@@ -160,7 +161,7 @@ func main() {
 	for i, u := range users {
 		d := datasets.Generate(datasets.Spec{
 			Name: u.name, Classes: 2, Train: 120, Features: 6,
-		}, int64(i+1))
+		}, rand.New(rand.NewSource(int64(i+1))))
 		out, err := u.enclave.ECall("train", seal(u.key, payload{X: d.TrainX, Y: d.TrainY}))
 		if err != nil {
 			log.Fatalf("%s: %v", u.name, err)

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// The allow directive grammar is
+//
+//	//nescheck:allow <rule-family> <reason...>
+//
+// A directive suppresses findings of that rule family
+//   - on its own line (trailing comment),
+//   - on the line immediately below (comment-above style), or
+//   - in the whole file, when it appears before the package clause.
+//
+// The reason is mandatory: an annotation that cannot say why it exists is a
+// finding itself (rule "nescheck/bad-directive", which no directive can
+// suppress).
+const allowPrefix = "nescheck:allow"
+
+type allowIndex struct {
+	// file maps filename -> rule families allowed for the whole file.
+	file map[string]map[string]bool
+	// line maps filename -> line -> rule families allowed at that line.
+	line map[string]map[int]map[string]bool
+}
+
+func (ix *allowIndex) allows(pos token.Position, family string) bool {
+	if ix.file[pos.Filename][family] {
+		return true
+	}
+	lines := ix.line[pos.Filename]
+	return lines[pos.Line][family] || lines[pos.Line-1][family]
+}
+
+// buildAllowIndex scans a package's comments for allow directives, returning
+// the suppression index and findings for malformed directives.
+func buildAllowIndex(pkg *Package) (*allowIndex, []Finding) {
+	ix := &allowIndex{
+		file: make(map[string]map[string]bool),
+		line: make(map[string]map[int]map[string]bool),
+	}
+	var bad []Finding
+	report := func(pos token.Pos, msg string) {
+		bad = append(bad, Finding{Pos: pkg.Fset.Position(pos), Rule: "nescheck/bad-directive", Msg: msg})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := directiveText(c.Text)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					report(c.Pos(), "nescheck:allow needs a rule family and a reason")
+					continue
+				}
+				family := fields[0]
+				if !rulePattern.MatchString(family) {
+					report(c.Pos(), "nescheck:allow rule "+family+" is not a rule family name")
+					continue
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "nescheck:allow "+family+" needs a reason")
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if c.Pos() < f.Package {
+					set := ix.file[pos.Filename]
+					if set == nil {
+						set = make(map[string]bool)
+						ix.file[pos.Filename] = set
+					}
+					set[family] = true
+					continue
+				}
+				lines := ix.line[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					ix.line[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					lines[pos.Line] = set
+				}
+				set[family] = true
+			}
+		}
+	}
+	return ix, bad
+}
+
+// directiveText extracts the payload after "//nescheck:allow", or ok=false
+// if the comment is not an allow directive. Like Go compiler directives, no
+// space is permitted between "//" and the directive name.
+func directiveText(comment string) (string, bool) {
+	rest, ok := strings.CutPrefix(comment, "//"+allowPrefix)
+	if !ok {
+		return "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. //nescheck:allowfoo
+	}
+	return strings.TrimSpace(rest), true
+}

@@ -1,0 +1,157 @@
+// Package analysis is nescheck: a stdlib-only static-analysis suite that
+// enforces the simulator's own invariants at build time. The dynamic
+// harnesses (the model-checking oracle, the chaos soak) verify the paper's
+// isolation properties at runtime, but they silently rely on preconditions —
+// deterministic replay, the trusted/untrusted boundary, lock ordering,
+// complete cost attribution, surfaced faults — that nothing else guards. The
+// analyzers here pin those preconditions at the source level:
+//
+//	determinism  — no wall clock, global RNG state, or order-dependent map
+//	               iteration in replay-critical packages
+//	boundary     — trusted enclave code must not write secrets to untrusted
+//	               sinks without sealing
+//	lockorder    — machine-level locks are acquired before EPCM/page-table
+//	               locks, never the reverse
+//	attribution  — calls into the billed memory hierarchy (epc, mee) thread
+//	               BillEID/ChargeTo so per-enclave accounting stays complete
+//	errcheck     — fault-returning APIs (mee.New, kos allocation, the sdk
+//	               ECall family) may not have their errors discarded
+//
+// Findings carry a rule ID (family/check) and can be suppressed with an
+// explicit, reasoned directive:
+//
+//	//nescheck:allow <rule-family> <reason...>
+//
+// placed on the offending line, the line above it, or — before the package
+// clause — for the whole file. A directive without a reason is itself a
+// finding. The suite is built only on go/parser, go/types and go/importer;
+// it loads the whole module from source with no third-party dependencies.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	Pos  token.Position
+	Rule string // "family/check", e.g. "determinism/wallclock"
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// ruleFamily returns the part of a rule ID before the first '/': the name a
+// //nescheck:allow directive suppresses.
+func ruleFamily(rule string) string {
+	for i := 0; i < len(rule); i++ {
+		if rule[i] == '/' {
+			return rule[:i]
+		}
+	}
+	return rule
+}
+
+// Analyzer is one house rule.
+type Analyzer struct {
+	// Name is the rule family ("determinism", "lockorder", ...). Every
+	// finding the analyzer reports must use "Name" or "Name/<check>" as its
+	// rule ID.
+	Name string
+	// Doc is the one-line invariant the rule enforces, shown by -rules.
+	Doc string
+	// Run inspects one type-checked package and reports findings.
+	Run func(*Pass)
+}
+
+// All returns the full rule catalog in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		Boundary,
+		LockOrder,
+		Attribution,
+		ErrCheck,
+	}
+}
+
+// Pass is the per-(analyzer, package) context handed to Analyzer.Run.
+type Pass struct {
+	Pkg *Package
+
+	analyzer *Analyzer
+	allow    *allowIndex
+	sink     *[]Finding
+}
+
+// Reportf records a finding unless an allow directive covers it.
+func (p *Pass) Reportf(pos token.Pos, rule, format string, args ...any) {
+	if ruleFamily(rule) != p.analyzer.Name {
+		panic(fmt.Sprintf("analysis: analyzer %s reported foreign rule %s", p.analyzer.Name, rule))
+	}
+	position := p.Pkg.Fset.Position(pos)
+	if p.allow.allows(position, ruleFamily(rule)) {
+		return
+	}
+	*p.sink = append(*p.sink, Finding{Pos: position, Rule: rule, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Run applies the analyzers to every package and returns the surviving
+// findings sorted by position. Malformed //nescheck:allow directives are
+// reported under the non-suppressible rule "nescheck/bad-directive".
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		idx, bad := buildAllowIndex(pkg)
+		findings = append(findings, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{Pkg: pkg, analyzer: a, allow: idx, sink: &findings}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return findings
+}
+
+// pathMatches reports whether a package import path is, or ends with, the
+// given module-relative suffix. Matching by suffix lets the same rule config
+// cover both the real tree ("nestedenclave/internal/mee") and the golden
+// fixtures ("fix/internal/mee").
+func pathMatches(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	if len(path) > len(suffix) && path[len(path)-len(suffix)-1] == '/' &&
+		path[len(path)-len(suffix):] == suffix {
+		return true
+	}
+	return false
+}
+
+func pathMatchesAny(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if pathMatches(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+var rulePattern = regexp.MustCompile(`^[a-z][a-z0-9-]*$`)

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Attribution keeps the PR-1 observability contract complete: every code
+// path that drives the billed memory hierarchy — EPC page allocation
+// (epc.Manager) and MEE line work (mee.Engine) — must name the enclave that
+// pays for it, either by charging directly (trace.Recorder.ChargeTo /
+// ChargeToDetail / ChargeHint), by naming the payer for the downstream
+// hierarchy (SetBillHint), or by threading the core's BillEID. A call with
+// no attribution evidence in the same function is work the per-enclave
+// accounting silently loses.
+var Attribution = &Analyzer{
+	Name: "attribution",
+	Doc:  "code paths into internal/epc and internal/mee must thread BillEID/ChargeTo so per-enclave accounting stays complete",
+	Run:  runAttribution,
+}
+
+// billableMethods name the entry points that move billed work.
+var billableMethods = []struct {
+	pkgSuffix string
+	typeName  string
+	methods   map[string]bool
+}{
+	{"internal/mee", "Engine", map[string]bool{
+		"ReadLine": true, "WriteLine": true, "DropLine": true, "DropPage": true,
+	}},
+	{"internal/epc", "Manager", map[string]bool{
+		"Alloc": true, "Free": true,
+	}},
+}
+
+// attributionExemptPkgs implement the hierarchy itself: they run below the
+// protection context and consume the hint rather than set it.
+var attributionExemptPkgs = []string{
+	"internal/mee", "internal/epc", "internal/cache", "internal/trace",
+}
+
+func runAttribution(p *Pass) {
+	if pathMatchesAny(p.Pkg.Path, attributionExemptPkgs) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		funcBodies(f, func(name string, _ *ast.FuncType, body *ast.BlockStmt) {
+			checkAttribution(p, name, body)
+		})
+	}
+}
+
+func checkAttribution(p *Pass, name string, body *ast.BlockStmt) {
+	type billed struct {
+		call *ast.CallExpr
+		what string
+	}
+	var calls []billed
+	evidence := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			// Any reference to a BillEID field/method/variable counts: the
+			// function is visibly wired into the attribution plumbing.
+			if n.Name == "BillEID" {
+				evidence = true
+			}
+		case *ast.CallExpr:
+			obj := calleeObject(p.Pkg.Info, n)
+			if obj == nil {
+				return true
+			}
+			recv := methodRecvNamed(obj)
+			if recv == nil {
+				return true
+			}
+			if typeIs(recv, "internal/trace", "Recorder") {
+				switch obj.Name() {
+				case "ChargeTo", "ChargeToDetail", "ChargeHint", "SetBillHint":
+					evidence = true
+				}
+				return true
+			}
+			for _, bm := range billableMethods {
+				if typeIs(recv, bm.pkgSuffix, bm.typeName) && bm.methods[obj.Name()] {
+					calls = append(calls, billed{call: n, what: recv.Obj().Pkg().Name() + "." + bm.typeName + "." + obj.Name()})
+				}
+			}
+		}
+		return true
+	})
+	if evidence {
+		return
+	}
+	for _, c := range calls {
+		p.Reportf(c.call.Pos(), "attribution/unbilled",
+			"%s calls %s without attribution evidence in the function (ChargeTo/ChargeHint/SetBillHint call or BillEID reference); the work is lost to per-enclave accounting", name, c.what)
+	}
+}

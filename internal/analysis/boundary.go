@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Boundary guards the trusted/untrusted interface. Trusted functions — code
+// with the sdk.TrustedFunc shape func(*sdk.Env, []byte) ([]byte, error),
+// which only runs inside an enclave via the ECall/NECall/NOCall paths — must
+// not write to sinks the untrusted host observes: the console (fmt printing,
+// log, the print builtins, os.Stdout/Stderr) or the trace event stream,
+// which PR-1 made host-readable telemetry. Data is allowed out through the
+// sealing/AEAD helpers (any callee whose name mentions Seal/Encrypt): a
+// sealed payload is ciphertext by construction.
+var Boundary = &Analyzer{
+	Name: "boundary",
+	Doc:  "trusted enclave code must not write to untrusted sinks (fmt/log/print, os.Std*, trace events) unless sealed",
+	Run:  runBoundary,
+}
+
+var fmtSinkFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func runBoundary(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		funcSignatures(p.Pkg.Info, f, func(name string, sig *types.Signature, body *ast.BlockStmt) {
+			if !isTrustedSig(sig) {
+				return
+			}
+			checkTrustedBody(p, name, body)
+		})
+	}
+}
+
+// isTrustedSig matches the TrustedFunc shape: exactly
+// (*sdk.Env, []byte) ([]byte, error), with Env resolved by type identity so
+// renamed imports and wrappers still match.
+func isTrustedSig(sig *types.Signature) bool {
+	if sig == nil || sig.Params().Len() != 2 || sig.Results().Len() != 2 {
+		return false
+	}
+	p0, ok := sig.Params().At(0).Type().(*types.Pointer)
+	if !ok || !typeIs(p0, "internal/sdk", "Env") {
+		return false
+	}
+	if !isByteSlice(sig.Params().At(1).Type()) {
+		return false
+	}
+	return isByteSlice(sig.Results().At(0).Type()) && isErrorType(sig.Results().At(1).Type())
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func checkTrustedBody(p *Pass, name string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A nested literal is only trusted code if it has the trusted
+			// shape itself; funcSignatures visits it separately then.
+			// Closures over the Env still execute inside the call, so keep
+			// walking non-trusted literals.
+			if isTrustedSig(funcLitSig(p.Pkg.Info, n)) {
+				return false
+			}
+		case *ast.CallExpr:
+			if sealedArgs(p.Pkg.Info, n) {
+				return true
+			}
+			if sink := untrustedSink(p.Pkg.Info, n); sink != "" {
+				p.Reportf(n.Pos(), "boundary/untrusted-sink",
+					"trusted function %s writes to untrusted sink %s; seal the payload (AEAD helpers) or move the write to host code", name, sink)
+			}
+		case *ast.SelectorExpr:
+			if pkgMember(p.Pkg.Info, n, "os", "Stdout") || pkgMember(p.Pkg.Info, n, "os", "Stderr") {
+				p.Reportf(n.Pos(), "boundary/untrusted-sink",
+					"trusted function %s touches os.%s, an untrusted host stream", name, n.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// untrustedSink classifies a call as a host-observable write, returning a
+// description or "".
+func untrustedSink(info *types.Info, call *ast.CallExpr) string {
+	if name, ok := stdFuncCall(info, call, "fmt", fmtSinkFuncs); ok {
+		return "fmt." + name
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && (b.Name() == "print" || b.Name() == "println") {
+			return "builtin " + b.Name()
+		}
+	}
+	obj := calleeObject(info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	if obj.Pkg().Path() == "log" {
+		return "log." + obj.Name()
+	}
+	if recv := methodRecvNamed(obj); recv != nil {
+		if typeIs(recv, "internal/trace", "Recorder") {
+			return "trace.Recorder." + obj.Name() + " (host-readable event stream)"
+		}
+		if recv.Obj().Pkg() != nil && recv.Obj().Pkg().Path() == "log" {
+			return "log.Logger." + obj.Name()
+		}
+	}
+	return ""
+}
+
+// sealedArgs reports whether any argument of the call goes through a
+// sealing/AEAD helper, the sanctioned way to export data from trusted code.
+func sealedArgs(info *types.Info, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		sealed := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := ""
+			if obj := calleeObject(info, inner); obj != nil {
+				name = obj.Name()
+			} else if sel, ok := ast.Unparen(inner.Fun).(*ast.SelectorExpr); ok {
+				name = sel.Sel.Name
+			}
+			if strings.Contains(name, "Seal") || strings.Contains(name, "Encrypt") {
+				sealed = true
+				return false
+			}
+			return true
+		})
+		if sealed {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgMember reports whether sel refers to pkg.name (e.g. os.Stdout).
+func pkgMember(info *types.Info, sel *ast.SelectorExpr, pkgPath, name string) bool {
+	obj := info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// ErrCheck is errcheck-lite, scoped to the fault-surfacing APIs the PR-3
+// panic→error conversions introduced: mee.New and the engine's line
+// operations, kos allocation (EPC pressure is a recoverable error, not a
+// crash), and the sdk ECall/NECall family plus supervisor/channel retries. A
+// discarded error from these packages is a swallowed fault — exactly what
+// the conversions were made to surface.
+//
+// Only silent discards are flagged: a call used as a bare statement, or in
+// `go`/`defer`. An explicit `_ = f()` is a visible, reviewable decision and
+// is allowed.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "error results from the fault-returning APIs (internal/mee, internal/kos, internal/sdk) must not be silently discarded",
+	Run:  runErrCheck,
+}
+
+// errCheckedPkgs are the packages whose error returns carry fault state.
+var errCheckedPkgs = []string{
+	"internal/mee",
+	"internal/kos",
+	"internal/sdk",
+}
+
+func runErrCheck(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			kind := ""
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if c, ok := n.X.(*ast.CallExpr); ok {
+					call, kind = c, "discarded"
+				}
+			case *ast.GoStmt:
+				call, kind = n.Call, "discarded by go statement"
+			case *ast.DeferStmt:
+				call, kind = n.Call, "discarded by defer"
+			}
+			if call == nil {
+				return true
+			}
+			obj := calleeObject(p.Pkg.Info, call)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if !pathMatchesAny(obj.Pkg().Path(), errCheckedPkgs) {
+				return true
+			}
+			if p.Pkg.Types.Path() == obj.Pkg().Path() {
+				return true // a package may discard its own errors knowingly
+			}
+			if !lastResultIsError(p.Pkg.Info, call) {
+				return true
+			}
+			qual := obj.Pkg().Name() + "." + obj.Name()
+			if recv := methodRecvNamed(obj); recv != nil {
+				qual = obj.Pkg().Name() + "." + recv.Obj().Name() + "." + obj.Name()
+			}
+			p.Reportf(call.Pos(), "errcheck/unchecked",
+				"error result of %s %s; these APIs surface enclave faults — handle the error or assign it explicitly", qual, kind)
+			return true
+		})
+	}
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeObject resolves the function or method object a call invokes, or nil
+// for indirect calls (function values, interface methods without a concrete
+// receiver type) and type conversions.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun].(*types.Func); ok {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// stdFuncCall reports whether a call invokes the named package-level
+// function of the given (standard library) package path.
+func stdFuncCall(info *types.Info, call *ast.CallExpr, pkgPath string, names map[string]bool) (string, bool) {
+	obj := calleeObject(info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", false // method, not the package-level function
+	}
+	if !names[obj.Name()] {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// methodRecvNamed returns the defining named type of a method object's
+// receiver (pointers unwrapped), or nil for non-methods.
+func methodRecvNamed(obj types.Object) *types.Named {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return namedOf(sig.Recv().Type())
+}
+
+// namedOf unwraps pointers and aliases down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Alias:
+			t = types.Unalias(tt)
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// typeIs reports whether t (pointers unwrapped) is the named type with the
+// given name declared in a package matching the path suffix.
+func typeIs(t types.Type, pkgSuffix, name string) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == name && pathMatches(n.Obj().Pkg().Path(), pkgSuffix)
+}
+
+// lastResultIsError reports whether a call expression's result tuple ends in
+// an error (covering both single-error and (T, error) shapes).
+func lastResultIsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isErrorType(t.At(t.Len()-1).Type())
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named := namedOf(t)
+	return named != nil && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// funcBodies yields every function body in a file together with the
+// enclosing declaration's name: declarations, methods, and function
+// literals ("func literal").
+func funcBodies(f *ast.File, visit func(name string, ft *ast.FuncType, body *ast.BlockStmt)) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		visit(fd.Name.Name, fd.Type, fd.Body)
+		name := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				visit(name+" (func literal)", fl.Type, fl.Body)
+			}
+			return true
+		})
+	}
+}
+
+// funcSignatures is funcBodies with the resolved *types.Signature. The
+// signature of a declared function lives in Info.Defs (its *ast.FuncType is
+// not an expression, so Info.Types does not record it); a literal's lives in
+// Info.Types. sig may be nil when type checking could not resolve one.
+func funcSignatures(info *types.Info, f *ast.File, visit func(name string, sig *types.Signature, body *ast.BlockStmt)) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		var sig *types.Signature
+		if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+			sig, _ = obj.Type().(*types.Signature)
+		}
+		visit(fd.Name.Name, sig, fd.Body)
+		name := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				visit(name+" (func literal)", funcLitSig(info, fl), fl.Body)
+			}
+			return true
+		})
+	}
+}
+
+// funcLitSig resolves a function literal's signature, or nil.
+func funcLitSig(info *types.Info, fl *ast.FuncLit) *types.Signature {
+	if tv, ok := info.Types[fl]; ok {
+		if sig, ok := tv.Type.(*types.Signature); ok {
+			return sig
+		}
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+// Fixture: calls into the billed memory hierarchy need attribution evidence
+// (a ChargeTo/ChargeHint/SetBillHint call or a BillEID reference) somewhere
+// in the same function; without it the work is lost to per-enclave
+// accounting.
+package driver
+
+import (
+	"fix/internal/epc"
+	"fix/internal/mee"
+	"fix/internal/trace"
+)
+
+type Core struct {
+	eid uint64
+}
+
+func (c *Core) BillEID() uint64 { return c.eid }
+
+func Unbilled(e *epc.Manager) {
+	e.Alloc(1) // want "attribution/unbilled: Unbilled calls epc.Manager.Alloc"
+}
+
+func UnbilledMEE(m *mee.Engine) {
+	m.DropPage(0) // want "attribution/unbilled: UnbilledMEE calls mee.Engine.DropPage"
+}
+
+func UnbilledFree(e *epc.Manager) error {
+	return e.Free(3) // want "attribution/unbilled: UnbilledFree calls epc.Manager.Free"
+}
+
+// Billed sets the hint before driving the hierarchy: clean.
+func Billed(r *trace.Recorder, e *epc.Manager) {
+	r.SetBillHint(1)
+	e.Alloc(1)
+}
+
+// BilledViaEID threads the core's BillEID: clean.
+func BilledViaEID(c *Core, r *trace.Recorder, m *mee.Engine) error {
+	r.ChargeTo(c.BillEID(), 0, 1, 10)
+	return m.WriteLine(0, nil)
+}

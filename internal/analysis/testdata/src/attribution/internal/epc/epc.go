@@ -1,0 +1,7 @@
+// Fixture stand-in for internal/epc: billable page allocation.
+package epc
+
+type Manager struct{}
+
+func (m *Manager) Alloc(eid uint64) (int, error) { return 0, nil }
+func (m *Manager) Free(page int) error           { return nil }

@@ -1,0 +1,8 @@
+// Fixture stand-in for internal/mee: billable line work.
+package mee
+
+type Engine struct{}
+
+func (e *Engine) ReadLine(pa uint64) ([]byte, error)  { return nil, nil }
+func (e *Engine) WriteLine(pa uint64, b []byte) error { return nil }
+func (e *Engine) DropPage(pa uint64)                  {}

@@ -1,0 +1,9 @@
+// Fixture stand-in for internal/trace: the attribution surface.
+package trace
+
+type Recorder struct{}
+
+func (r *Recorder) SetBillHint(eid uint64)                       {}
+func (r *Recorder) ChargeTo(eid uint64, core int, e, cyc int64)  {}
+func (r *Recorder) ChargeHint(e, cyc int64)                      {}
+func (r *Recorder) ChargeToDetail(eid uint64, c int, e, d int64) {}

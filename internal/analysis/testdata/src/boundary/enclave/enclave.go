@@ -1,0 +1,51 @@
+// Fixture: functions with the TrustedFunc shape (*sdk.Env, []byte) ([]byte,
+// error) run inside an enclave; host-observable writes from them leak.
+package enclave
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"fix/internal/sdk"
+	"fix/internal/trace"
+)
+
+func LeakPrint(env *sdk.Env, args []byte) ([]byte, error) {
+	fmt.Printf("secret=%x\n", args) // want "boundary/untrusted-sink: .*fmt.Printf"
+	return nil, nil
+}
+
+func LeakLog(env *sdk.Env, args []byte) ([]byte, error) {
+	log.Println(args) // want "boundary/untrusted-sink: .*log.Println"
+	return args, nil
+}
+
+func LeakBuiltin(env *sdk.Env, args []byte) ([]byte, error) {
+	println(len(args)) // want "boundary/untrusted-sink: .*builtin println"
+	return nil, nil
+}
+
+func LeakStdout(env *sdk.Env, args []byte) ([]byte, error) {
+	os.Stdout.Write(args) // want "boundary/untrusted-sink: .*os.Stdout"
+	return nil, nil
+}
+
+func LeakTrace(rec *trace.Recorder) func(env *sdk.Env, args []byte) ([]byte, error) {
+	// The trusted code here is the literal, not the factory.
+	return func(env *sdk.Env, args []byte) ([]byte, error) {
+		rec.Emit("secret", uint64(len(args))) // want "boundary/untrusted-sink: .*trace.Recorder.Emit"
+		return nil, nil
+	}
+}
+
+// Sealed exports through the AEAD helper: clean.
+func Sealed(env *sdk.Env, args []byte) ([]byte, error) {
+	fmt.Printf("sealed=%x\n", env.Seal(args))
+	return env.EncryptFor(1, args), nil
+}
+
+// Host does not have the trusted shape: printing is fine on the host side.
+func Host(args []byte) {
+	fmt.Println(args)
+}

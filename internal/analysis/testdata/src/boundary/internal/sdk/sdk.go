@@ -1,0 +1,14 @@
+// Fixture stand-in for the real internal/sdk: just enough surface for the
+// boundary rule's type-identity matching (the TrustedFunc parameter shape and
+// a sealing helper).
+package sdk
+
+type Env struct {
+	scratch []byte
+}
+
+// Seal is the sanctioned exfiltration path: AEAD in the real SDK.
+func (e *Env) Seal(b []byte) []byte { return b }
+
+// EncryptFor mirrors the report-key helpers.
+func (e *Env) EncryptFor(peer uint64, b []byte) []byte { return b }

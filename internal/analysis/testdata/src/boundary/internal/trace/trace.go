@@ -1,0 +1,7 @@
+// Fixture stand-in for internal/trace: the event stream is host-readable
+// telemetry, so trusted code writing to it is a boundary finding.
+package trace
+
+type Recorder struct{}
+
+func (r *Recorder) Emit(kind string, detail uint64) {}

@@ -1,0 +1,20 @@
+// Fixture: internal/datasets is a workload generator — constructing an RNG
+// here (instead of accepting a caller-seeded one) is a finding, on top of the
+// module-wide global-source ban.
+package datasets
+
+import "math/rand"
+
+func Generate(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // want "determinism/rand-inject: rand"
+	return rng.Float64()
+}
+
+func Shuffle(n int) {
+	rand.Shuffle(n, func(i, j int) {}) // want "determinism/rand-global: rand.Shuffle"
+}
+
+// Good accepts the injected RNG: clean.
+func Good(rng *rand.Rand) float64 {
+	return rng.Float64()
+}

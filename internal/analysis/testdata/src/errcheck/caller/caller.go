@@ -1,0 +1,32 @@
+// Fixture: silently discarded error results from the fault-returning
+// packages are findings; explicit `_ =` discards and handled errors are not.
+package caller
+
+import (
+	"fix/internal/kos"
+	"fix/internal/mee"
+	"fix/internal/sdk"
+)
+
+func Bad(i *sdk.Instance) {
+	mee.New(64)       // want "errcheck/unchecked: error result of mee.New discarded"
+	i.ECall("f", nil) // want "errcheck/unchecked: error result of sdk.Instance.ECall discarded"
+	go kos.Alloc(1)   // want "errcheck/unchecked: error result of kos.Alloc discarded by go statement"
+}
+
+func BadDefer(e *mee.Engine) {
+	defer e.Flush() // want "errcheck/unchecked: error result of mee.Engine.Flush discarded by defer"
+}
+
+func Good(i *sdk.Instance) error {
+	e, err := mee.New(64)
+	if err != nil {
+		return err
+	}
+	// An explicit discard is a visible, reviewable decision: clean.
+	_ = e.Flush()
+	_, _ = i.NECall("f", nil)
+	// Non-error results are not errcheck's business: clean.
+	e.Stats()
+	return nil
+}

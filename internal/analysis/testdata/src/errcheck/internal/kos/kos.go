@@ -1,0 +1,10 @@
+// Fixture stand-in for internal/kos: EPC pressure surfaces as an error.
+package kos
+
+func Alloc(pages int) error { return nil }
+
+// Internal discards its own package's errors, which is allowed: a package
+// may knowingly swallow faults it defined.
+func Internal() {
+	Alloc(1)
+}

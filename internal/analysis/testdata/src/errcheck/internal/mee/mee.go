@@ -1,0 +1,8 @@
+// Fixture stand-in for internal/mee: fault-returning constructors and ops.
+package mee
+
+type Engine struct{}
+
+func New(lines int) (*Engine, error)   { return &Engine{}, nil }
+func (e *Engine) Flush() error         { return nil }
+func (e *Engine) Stats() (int, string) { return 0, "" }

@@ -1,0 +1,8 @@
+// Fixture stand-in for internal/sdk: the ECall family returns enclave
+// faults as errors.
+package sdk
+
+type Instance struct{}
+
+func (i *Instance) ECall(name string, args []byte) ([]byte, error)  { return nil, nil }
+func (i *Instance) NECall(name string, args []byte) ([]byte, error) { return nil, nil }

@@ -1,0 +1,51 @@
+// Fixture: acquisitions of a machine-class lock while a page-class lock is
+// held invert the hierarchy and are findings; the documented order and
+// sequential (non-overlapping) use are clean.
+package driver
+
+import (
+	"fix/internal/epc"
+	"fix/internal/kos"
+	"fix/internal/pt"
+	"fix/internal/sgx"
+)
+
+// Documented order: machine before page. Clean.
+func Good(m *sgx.Machine, t *pt.Table) {
+	m.Mu.Lock()
+	t.Mu.Lock()
+	t.Mu.Unlock()
+	m.Mu.Unlock()
+}
+
+func Inverted(m *sgx.Machine, t *pt.Table) {
+	t.Mu.Lock()
+	m.Mu.Lock() // want "lockorder/inversion: .*machine-level sgx.Machine lock while holding the pt.Table lock"
+	m.Mu.Unlock()
+	t.Mu.Unlock()
+}
+
+// Deferred releases hold to function exit, so the machine acquisition below
+// still happens under the page lock.
+func DeferredRelease(m *sgx.Machine, t *pt.Table) {
+	t.Mu.Lock()
+	defer t.Mu.Unlock()
+	m.Mu.Lock() // want "lockorder/inversion: .*sgx.Machine lock while holding the pt.Table lock"
+	defer m.Mu.Unlock()
+}
+
+// Sequential use never overlaps: clean.
+func SequentialOK(m *sgx.Machine, t *pt.Table) {
+	t.Mu.Lock()
+	t.Mu.Unlock()
+	m.Mu.Lock()
+	m.Mu.Unlock()
+}
+
+// Read locks participate in the hierarchy like write locks.
+func ReadInversion(k *kos.Kernel, e *epc.Manager) {
+	e.Mu.RLock()
+	k.Mu.Lock() // want "lockorder/inversion: .*kos.Kernel lock while holding the epc.Manager lock"
+	k.Mu.Unlock()
+	e.Mu.RUnlock()
+}

@@ -1,0 +1,8 @@
+// Fixture stand-in: the EPCM lock (rank 1, taken under a machine lock).
+package epc
+
+import "sync"
+
+type Manager struct {
+	Mu sync.RWMutex
+}

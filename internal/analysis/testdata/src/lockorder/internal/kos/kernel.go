@@ -1,0 +1,8 @@
+// Fixture stand-in: the kernel lock is machine-class too (rank 0).
+package kos
+
+import "sync"
+
+type Kernel struct {
+	Mu sync.Mutex
+}

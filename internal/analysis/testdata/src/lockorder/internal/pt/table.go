@@ -1,0 +1,8 @@
+// Fixture stand-in: the page-table lock (rank 1, taken under a machine lock).
+package pt
+
+import "sync"
+
+type Table struct {
+	Mu sync.Mutex
+}

@@ -1,0 +1,7 @@
+// Meta fixture: this want annotation is stale — the line is clean — and the
+// runner must fail on it rather than silently pass (see TestMetaHarness).
+package stale
+
+func Clean() int {
+	return 1 // want "determinism/wallclock: time.Now"
+}

@@ -1,0 +1,9 @@
+// Meta fixture: a real violation with no want annotation — the runner must
+// report it as unexpected rather than silently pass (see TestMetaHarness).
+package surprise
+
+import "time"
+
+func Sneaky() int64 {
+	return time.Now().UnixNano()
+}

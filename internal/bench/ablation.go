@@ -1,3 +1,5 @@
+//nescheck:allow determinism the ablation compares host wall time of call paths by design; simulated costs are tracked separately via trace.Recorder cycles
+
 package bench
 
 import (

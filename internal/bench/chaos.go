@@ -5,6 +5,7 @@ import (
 	"crypto/cipher"
 	"encoding/binary"
 	"fmt"
+	"math/rand"
 	"strings"
 	"sync"
 
@@ -412,8 +413,8 @@ func ChaosSoak(cfg ChaosConfig) (*ChaosReport, error) {
 	// resilience, not install-time fragility).
 	mix := ycsb.Mix{Name: "chaos soak (40/40/15/5)", InsertP: 15, SelectP: 40, UpdateP: 40, ScanP: 5}
 	w := ycsb.Generate(mix, ycsb.Config{
-		Records: cfg.Records, Operations: cfg.Ops, FieldLen: 24, Seed: int64(cfg.Seed) + 1,
-	})
+		Records: cfg.Records, Operations: cfg.Ops, FieldLen: 24,
+	}, rand.New(rand.NewSource(int64(cfg.Seed)+1)))
 	oracle := chaosOracle{}
 	for _, q := range w.Setup {
 		out, cerr := h.call(q)

@@ -1,3 +1,5 @@
+//nescheck:allow determinism throughput calibration measures host wall time by design; simulated costs are tracked separately via trace.Recorder cycles
+
 package bench
 
 import (

@@ -1,3 +1,5 @@
+//nescheck:allow determinism Table II reports measured host wall time per transition by design; simulated costs are tracked separately via trace.Recorder cycles
+
 package bench
 
 import (

@@ -65,9 +65,10 @@ type Data struct {
 
 // Generate produces a deterministic dataset for the spec: one Gaussian blob
 // per class, centres spread on a simplex, 20% label-free overlap so the
-// problem is separable-but-not-trivially (support vectors exist).
-func Generate(spec Spec, seed int64) *Data {
-	rng := rand.New(rand.NewSource(seed))
+// problem is separable-but-not-trivially (support vectors exist). The caller
+// injects the seeded RNG (nescheck's determinism rule forbids constructing
+// sources here): the same *rand.Rand state always yields the same dataset.
+func Generate(spec Spec, rng *rand.Rand) *Data {
 	centres := make([][]float64, spec.Classes)
 	for c := range centres {
 		centres[c] = make([]float64, spec.Features)

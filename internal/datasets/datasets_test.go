@@ -1,8 +1,11 @@
 package datasets
 
 import (
+	"math/rand"
 	"testing"
 )
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 func TestTableVShapes(t *testing.T) {
 	specs := TableV()
@@ -40,7 +43,7 @@ func TestByName(t *testing.T) {
 
 func TestGenerateShapesAndDeterminism(t *testing.T) {
 	spec := Spec{Name: "t", Classes: 3, Train: 90, Test: 30, Features: 5}
-	d := Generate(spec, 1)
+	d := Generate(spec, rng(1))
 	if len(d.TrainX) != 90 || len(d.TrainY) != 90 || len(d.TestX) != 30 {
 		t.Fatalf("shapes: %d %d %d", len(d.TrainX), len(d.TrainY), len(d.TestX))
 	}
@@ -58,11 +61,11 @@ func TestGenerateShapesAndDeterminism(t *testing.T) {
 		t.Fatalf("classes present: %v", seen)
 	}
 	// Deterministic for a seed, different across seeds.
-	d2 := Generate(spec, 1)
+	d2 := Generate(spec, rng(1))
 	if d.TrainX[0][0] != d2.TrainX[0][0] {
 		t.Fatal("not deterministic")
 	}
-	d3 := Generate(spec, 2)
+	d3 := Generate(spec, rng(2))
 	if d.TrainX[0][0] == d3.TrainX[0][0] {
 		t.Fatal("seed has no effect")
 	}
@@ -70,7 +73,7 @@ func TestGenerateShapesAndDeterminism(t *testing.T) {
 
 func TestTestSetFallback(t *testing.T) {
 	spec := Spec{Name: "t", Classes: 2, Train: 40, Test: 0, Features: 3}
-	d := Generate(spec, 1)
+	d := Generate(spec, rng(1))
 	if len(d.TestX) != 10 { // quarter of the training set
 		t.Fatalf("fallback test size %d", len(d.TestX))
 	}

@@ -22,6 +22,9 @@ func (m *Machine) ECreate(base isa.VAddr, size uint64, attributes uint64) (*SECS
 	}
 	eid := m.nextEID
 	m.nextEID++
+	// Enclave-build work (the SECS page, its eventual MEE metadata) bills to
+	// the enclave being created.
+	m.Rec.SetBillHint(uint64(eid))
 	page, err := m.EPC.Alloc(eid, isa.PTSECS, 0, 0)
 	if err != nil {
 		return nil, isa.GP("ECREATE: %v", err)
@@ -83,6 +86,9 @@ func (m *Machine) EAdd(s *SECS, a AddPageArgs) (int, error) {
 	default:
 		return 0, isa.GP("EADD: page type %v not addable", a.Type)
 	}
+	// Page-add work (EPC slot, content writeback through the MEE) bills to
+	// the enclave under construction.
+	m.Rec.SetBillHint(uint64(s.EID))
 	page, err := m.EPC.Alloc(s.EID, a.Type, a.Vaddr, perms)
 	if err != nil {
 		return 0, isa.GP("EADD: %v", err)
@@ -134,6 +140,8 @@ func (m *Machine) EAug(s *SECS, vaddr isa.VAddr, perms isa.Perm) (int, error) {
 			return 0, isa.GP("EAUG: vaddr %#x already backed", uint64(vaddr))
 		}
 	}
+	// Dynamic growth bills to the enclave the page is augmented into.
+	m.Rec.SetBillHint(uint64(s.EID))
 	page, err := m.EPC.Alloc(s.EID, isa.PTReg, vaddr, perms)
 	if err != nil {
 		return 0, isa.GP("EAUG: %v", err)
@@ -181,6 +189,9 @@ func (m *Machine) ERemove(page int) error {
 	if !ent.Valid {
 		return isa.GP("EREMOVE: page %d not valid", page)
 	}
+	// Teardown work (cache scrub, MEE metadata drop, EPC free) bills to the
+	// enclave that owned the page.
+	m.Rec.SetBillHint(uint64(ent.Owner))
 	if ent.Type == isa.PTSECS {
 		owner := ent.Owner
 		for _, i := range m.EPC.PagesOf(owner) {

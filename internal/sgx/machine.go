@@ -19,6 +19,7 @@ package sgx
 import (
 	"crypto/rand"
 	"fmt"
+	"sort"
 	"sync"
 
 	"nestedenclave/internal/cache"
@@ -207,7 +208,9 @@ func (m *Machine) ResolveEID(eid isa.EID) (*SECS, bool) {
 	return s, ok
 }
 
-// Enclaves returns all live enclaves (for audits and footprint accounting).
+// Enclaves returns all live enclaves (for audits and footprint accounting),
+// sorted by EID so consumers iterate in a replay-stable order regardless of
+// the map's internal layout.
 func (m *Machine) Enclaves() []*SECS {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -215,6 +218,7 @@ func (m *Machine) Enclaves() []*SECS {
 	for _, s := range m.secsByEID {
 		out = append(out, s)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].EID < out[j].EID })
 	return out
 }
 

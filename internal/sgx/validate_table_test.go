@@ -46,10 +46,10 @@ func TestBaselineValidateTable(t *testing.T) {
 		t.Fatalf("no EPC page at %#x", uint64(v))
 		return 0
 	}
-	aData0 := frameOf(sA, baseA)                  // A's data page 0
-	aData1 := frameOf(sA, baseA+isa.PageSize)     // A's data page 1
-	bData0 := frameOf(sB, baseB)                  // B's data page 0
-	aTCS := frameOf(sA, baseA+2*isa.PageSize)     // A's TCS page (non-PTReg)
+	aData0 := frameOf(sA, baseA)              // A's data page 0
+	aData1 := frameOf(sA, baseA+isa.PageSize) // A's data page 1
+	bData0 := frameOf(sB, baseB)              // B's data page 0
+	aTCS := frameOf(sA, baseA+2*isa.PageSize) // A's TCS page (non-PTReg)
 	// A free EPC frame: valid bit clear in the EPCM.
 	var freeEPC uint64
 	used := map[int]bool{}

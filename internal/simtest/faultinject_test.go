@@ -310,8 +310,8 @@ func TestInjectedPathCLeakCaughtDirected(t *testing.T) {
 func TestSkipShootdownEWBDenied(t *testing.T) {
 	r := NewRunner(2, false)
 	ops := append(append([]Op{}, nestedReadSetup...),
-		Op{Kind: OpRead, Core: 1, A: 0},                 // fill core 1's TLB with the outer page
-		Op{Kind: OpEvict, Slot: 0, A: 0, B: 0x80},       // skip shootdown: EWB must refuse
+		Op{Kind: OpRead, Core: 1, A: 0},           // fill core 1's TLB with the outer page
+		Op{Kind: OpEvict, Slot: 0, A: 0, B: 0x80}, // skip shootdown: EWB must refuse
 	)
 	if _, err := r.RunOps(ops); err != nil {
 		t.Fatalf("lockstep divergence: %v", err)

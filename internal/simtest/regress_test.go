@@ -49,7 +49,7 @@ var regressions = []Schedule{
 			{Kind: OpNEnter, Core: 1, Slot: 1},
 			{Kind: OpRead, Core: 1, A: 0},
 			{Kind: OpEvict, Slot: 0, A: 0},
-			{Kind: OpRead, Core: 1, A: 0}, // evicted: #PF on both sides
+			{Kind: OpRead, Core: 1, A: 0},  // evicted: #PF on both sides
 			{Kind: OpEvict, Slot: 0, A: 0}, // reload via ELDU
 			{Kind: OpRead, Core: 1, A: 0},
 		},

@@ -152,7 +152,7 @@ func TestMulticlass(t *testing.T) {
 
 func TestTableVDatasetsTrainable(t *testing.T) {
 	for _, spec := range datasets.TableV() {
-		d := datasets.Generate(spec.Scale(0.01), 42)
+		d := datasets.Generate(spec.Scale(0.01), rand.New(rand.NewSource(42)))
 		mm, err := svm.TrainMulti(
 			svm.Problem{X: d.TrainX, Y: d.TrainY},
 			svm.Param{Kernel: svm.RBF, C: 4},

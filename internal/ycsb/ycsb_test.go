@@ -1,6 +1,7 @@
 package ycsb
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -8,12 +9,14 @@ import (
 )
 
 func smallCfg() Config {
-	return Config{Records: 50, Operations: 200, FieldLen: 20, Seed: 7}
+	return Config{Records: 50, Operations: 200, FieldLen: 20}
 }
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 func TestAllMixesRun(t *testing.T) {
 	for _, mix := range TableVIMixes() {
-		w := Generate(mix, smallCfg())
+		w := Generate(mix, smallCfg(), rng(7))
 		if len(w.Queries) != 200 {
 			t.Fatalf("%s: %d queries", mix.Name, len(w.Queries))
 		}
@@ -32,8 +35,8 @@ func TestAllMixesRun(t *testing.T) {
 }
 
 func TestMixProportions(t *testing.T) {
-	cfg := Config{Records: 10, Operations: 10000, FieldLen: 5, Seed: 3}
-	w := Generate(Mix{Name: "95/5", SelectP: 95, UpdateP: 5}, cfg)
+	cfg := Config{Records: 10, Operations: 10000, FieldLen: 5}
+	w := Generate(Mix{Name: "95/5", SelectP: 95, UpdateP: 5}, cfg, rng(3))
 	sel, upd := 0, 0
 	for _, q := range w.Queries {
 		switch {
@@ -54,7 +57,7 @@ func TestMixProportions(t *testing.T) {
 }
 
 func TestInsertWorkloadGrowsTable(t *testing.T) {
-	w := Generate(Mix{Name: "ins", InsertP: 100}, smallCfg())
+	w := Generate(Mix{Name: "ins", InsertP: 100}, smallCfg(), rng(7))
 	db := sqldb.New()
 	if err := w.Load(db); err != nil {
 		t.Fatal(err)
@@ -72,7 +75,7 @@ func TestInsertWorkloadGrowsTable(t *testing.T) {
 }
 
 func TestWorkloadEScans(t *testing.T) {
-	w := Generate(WorkloadE(), smallCfg())
+	w := Generate(WorkloadE(), smallCfg(), rng(7))
 	db := sqldb.New()
 	if err := w.Load(db); err != nil {
 		t.Fatal(err)
@@ -92,17 +95,16 @@ func TestWorkloadEScans(t *testing.T) {
 }
 
 func TestDeterministicBySeed(t *testing.T) {
-	// Config.Seed is the sole entropy source (rand.NewSource in Generate):
-	// the same seed must reproduce the query stream byte for byte, and
-	// distinct seeds must actually vary it — otherwise "seeded" is a lie and
-	// replaying a failure with the logged seed would prove nothing.
+	// The injected RNG is the sole entropy source: the same seed must
+	// reproduce the query stream byte for byte, and distinct seeds must
+	// actually vary it — otherwise "seeded" is a lie and replaying a failure
+	// with the logged seed would prove nothing.
 	var streams []string
 	for _, seed := range []int64{1, 7, 42, 1 << 40} {
 		cfg := smallCfg()
-		cfg.Seed = seed
 		t.Logf("ycsb seed %d", seed)
-		a := Generate(TableVIMixes()[1], cfg)
-		b := Generate(TableVIMixes()[1], cfg)
+		a := Generate(TableVIMixes()[1], cfg, rng(seed))
+		b := Generate(TableVIMixes()[1], cfg, rng(seed))
 		if len(a.Queries) != len(b.Queries) {
 			t.Fatalf("seed %d: lengths differ (%d vs %d)", seed, len(a.Queries), len(b.Queries))
 		}
@@ -115,7 +117,7 @@ func TestDeterministicBySeed(t *testing.T) {
 	}
 	for i := 1; i < len(streams); i++ {
 		if streams[i] == streams[0] {
-			t.Fatalf("seed stream %d identical to stream 0 — Seed is not wired into generation", i)
+			t.Fatalf("seed stream %d identical to stream 0 — the RNG is not wired into generation", i)
 		}
 	}
 }

@@ -14,7 +14,7 @@ FUZZTIME ?= 10s
 CHAOS_SEED ?= 0xC0FFEE
 CHAOS_OPS ?= 2000
 
-.PHONY: all build tier1 vet lint fmt-check race tier2 tier3 fuzz-smoke chaos chaos-smoke bench clean
+.PHONY: all build tier1 vet lint fmt-check race tier2 tier3 fuzz-smoke chaos chaos-smoke perf-gate baselines bench clean
 
 all: tier1
 
@@ -27,8 +27,8 @@ tier1:
 vet:
 	$(GO) vet ./...
 
-# lint runs nescheck, the house static-analysis suite: five analyzers
-# (determinism, boundary, lockorder, attribution, errcheck) that enforce the
+# lint runs nescheck, the house static-analysis suite: six analyzers
+# (determinism, boundary, lockorder, attribution, errcheck, spanpair) that enforce the
 # simulator's own invariants at compile time. `go run ./cmd/nescheck -rules`
 # prints the catalog; suppress a finding with //nescheck:allow <rule> <reason>.
 lint:
@@ -42,8 +42,21 @@ fmt-check:
 race:
 	$(GO) test -race ./...
 
-tier2: vet fmt-check lint
+tier2: vet fmt-check lint perf-gate
 	$(GO) test -race ./...
+
+# perf-gate re-runs the headline experiments (table2, sqlservice, mlservice)
+# and compares their simulated-cycle metrics — histogram means/counts, walk
+# and paging counters, total cycles — against the committed baselines/
+# snapshots. Gated metrics are deterministic functions of the cost model and
+# workloads, so the default 5% tolerance is pure headroom for intentional
+# drift; regenerate baselines with `make baselines` when a cost-model change
+# is deliberate (see EXPERIMENTS.md).
+perf-gate:
+	$(GO) run ./cmd/repro -gate baselines
+
+baselines:
+	$(GO) run ./cmd/repro -only table2,sqlservice,mlservice -json baselines
 
 tier3:
 	$(GO) vet ./...

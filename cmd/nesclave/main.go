@@ -5,6 +5,8 @@
 //	nesclave selftest          # execute the Table VII attacks and report outcomes
 //	nesclave stats             # run the demo workload, print per-enclave counters
 //	nesclave trace [-o f.json] # run the demo workload, emit Chrome trace JSON
+//	nesclave profile           # profile the nested SQL service: call tree,
+//	                           # span/counter agreement, folded stacks, flame JSON
 //
 // The trace output loads directly in chrome://tracing or
 // https://ui.perfetto.dev: each enclave appears as a process lane (pid = EID)
@@ -24,9 +26,10 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: nesclave <info|demo|selftest|stats|trace> [args]")
-	fmt.Fprintln(os.Stderr, "  stats flags: -n ITERS, -prom (Prometheus text exposition)")
-	fmt.Fprintln(os.Stderr, "  trace flags: -o FILE (default stdout), -n ITERS, -log N (ring capacity)")
+	fmt.Fprintln(os.Stderr, "usage: nesclave <info|demo|selftest|stats|trace|profile> [args]")
+	fmt.Fprintln(os.Stderr, "  stats flags:   -n ITERS, -prom (Prometheus text exposition)")
+	fmt.Fprintln(os.Stderr, "  trace flags:   -o FILE (default stdout), -n ITERS, -log N (ring capacity)")
+	fmt.Fprintln(os.Stderr, "  profile flags: -queries N, -interval CYC, -folded FILE, -o FILE (flame JSON)")
 	os.Exit(2)
 }
 
@@ -249,6 +252,53 @@ func traceCmd(args []string) error {
 	return nil
 }
 
+// profileCmd runs the nested SQL service under span tracing and the
+// simulated-cycle sampling profiler, printing the causal call tree and the
+// span-vs-histogram agreement check. The folded-stack profile (flamegraph.pl
+// input) and a Chrome trace_event flame view are written on request.
+func profileCmd(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	queries := fs.Int("queries", 300, "deterministic YCSB-like queries to run")
+	interval := fs.Int64("interval", 2000, "profiler sampling interval (simulated cycles)")
+	folded := fs.String("folded", "", "write folded-stack profile to FILE (flamegraph.pl input)")
+	out := fs.String("o", "", "write Chrome trace_event flame JSON to FILE")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := bench.ProfileSQLService(bench.ProfileConfig{
+		Queries:  *queries,
+		Interval: *interval,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(p.RenderTree())
+	fmt.Print(p.RenderAgreements())
+	for _, a := range p.Agreements() {
+		if a.RelErr > 0.01 {
+			return fmt.Errorf("span/counter agreement for %s off by %.2f%% (tolerance 1%%)", a.Op, 100*a.RelErr)
+		}
+	}
+	if *folded != "" {
+		if err := os.WriteFile(*folded, []byte(p.RenderFolded()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d folded stacks to %s\n", len(p.Folded), *folded)
+	}
+	if *out != "" {
+		b, err := trace.SpansToChrome(p.Spans, trace.CyclesPerUS)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d spans (%d bytes) to %s — load in chrome://tracing or ui.perfetto.dev\n",
+			len(p.Spans), len(b), *out)
+	}
+	return nil
+}
+
 func selftest() error {
 	rows, err := bench.TableVII()
 	if err != nil {
@@ -280,6 +330,8 @@ func main() {
 		err = stats(os.Args[2:])
 	case "trace":
 		err = traceCmd(os.Args[2:])
+	case "profile":
+		err = profileCmd(os.Args[2:])
 	default:
 		usage()
 	}

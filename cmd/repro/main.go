@@ -8,6 +8,7 @@
 //	repro -json results/       # also write BENCH_<name>.json snapshots
 //	repro -http :6060          # expose expvar + pprof while running
 //	repro -chaos -seed 7       # fault-injection soak (see TESTING.md)
+//	repro -gate baselines      # perf regression gate against committed BENCH_*.json
 //
 // Output is printed as aligned text tables; each carries a note with the
 // paper's reported numbers for comparison. With -json, every experiment
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"nestedenclave/internal/bench"
+	"nestedenclave/internal/trace"
 	"nestedenclave/internal/ycsb"
 )
 
@@ -108,6 +110,31 @@ func experiments() []experiment {
 			fmt.Println(bench.RenderFigure9(rows, scale))
 			return nil
 		}},
+		{"sqlservice", "nested SQL service under the span profiler", func(full bool) error {
+			q := 300
+			if full {
+				q = 3000
+			}
+			p, err := bench.ProfileSQLService(bench.ProfileConfig{Queries: q})
+			if err != nil {
+				return err
+			}
+			fmt.Print(p.RenderTree())
+			fmt.Print(p.RenderAgreements())
+			return nil
+		}},
+		{"mlservice", "nested ML (LibSVM) service", func(full bool) error {
+			scale := 0.02
+			if full {
+				scale = 0.2
+			}
+			rows, err := bench.Figure9(scale)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderFigure9(rows, scale))
+			return nil
+		}},
 		{"fig10", "enclave loading and footprint", func(full bool) error {
 			cfg := bench.DefaultFigure10Config()
 			if full {
@@ -176,6 +203,53 @@ func writeSnapshot(dir string, snap *bench.ExperimentSnapshot) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
+// gateExperiments names the headline experiments with committed baselines;
+// `repro -gate <dir>` re-runs exactly these.
+var gateExperiments = []string{"table2", "sqlservice", "mlservice"}
+
+// runGate is the -gate mode: re-run the headline experiments and compare
+// their cycle-derived metrics against the BENCH_<name>.json baselines in
+// dir, failing on any regression beyond tol.
+func runGate(dir string, tol float64) error {
+	exps := experiments()
+	byName := map[string]experiment{}
+	for _, e := range exps {
+		byName[e.name] = e
+	}
+	failed := false
+	for _, name := range gateExperiments {
+		base, err := bench.LoadSnapshot(filepath.Join(dir, "BENCH_"+name+".json"))
+		if err != nil {
+			return fmt.Errorf("baseline for %s: %w (regenerate with: repro -only %s -json %s)",
+				name, err, strings.Join(gateExperiments, ","), dir)
+		}
+		e, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("gate experiment %q not defined", name)
+		}
+		fmt.Printf("--- gate %s ---\n", name)
+		bench.BeginExperiment(name)
+		runErr := e.run(false)
+		snap := bench.EndExperiment()
+		if runErr != nil {
+			return fmt.Errorf("%s: %w", name, runErr)
+		}
+		if snap == nil {
+			return fmt.Errorf("%s produced no snapshot", name)
+		}
+		results := bench.CompareGate(base, snap, tol)
+		fmt.Print(bench.RenderGate(name, results, false))
+		if bench.GateFailed(results) {
+			failed = true
+		}
+	}
+	if failed {
+		return fmt.Errorf("gated metrics regressed beyond tolerance")
+	}
+	fmt.Println("perf gate: all gated metrics within tolerance")
+	return nil
+}
+
 // runChaos is the -chaos soak mode: the nested SQL service driven under
 // active fault injection with self-healing supervision (see TESTING.md for
 // the knob/replay recipe). Exit status 1 when the soak finds a violation.
@@ -206,6 +280,8 @@ func main() {
 	chaosMode := flag.Bool("chaos", false, "run the fault-injection soak instead of the experiments")
 	chaosSeed := flag.Uint64("seed", 0xC0FFEE, "chaos soak: injector seed (same seed replays the same run)")
 	chaosOps := flag.Int("ops", 1000, "chaos soak: number of YCSB operations")
+	gateDir := flag.String("gate", "", "compare gated metrics against BENCH_*.json baselines in this directory (perf regression gate)")
+	gateTol := flag.Float64("gate-tol", bench.GateTolerance, "gate: relative regression tolerance")
 	flag.Parse()
 
 	if *chaosMode {
@@ -215,15 +291,48 @@ func main() {
 		}
 		return
 	}
+	if *gateDir != "" {
+		if err := runGate(*gateDir, *gateTol); err != nil {
+			fmt.Fprintf(os.Stderr, "perf gate: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *httpAddr != "" {
 		bench.PublishExpvar()
+		// The span profiler's output from the most recent sqlservice run:
+		// folded stacks (flamegraph.pl/speedscope input) and Chrome
+		// trace_event flame data (chrome://tracing, ui.perfetto.dev).
+		http.HandleFunc("/debug/nesclave/profile", func(w http.ResponseWriter, _ *http.Request) {
+			p := bench.LastProfile()
+			if p == nil {
+				http.Error(w, "no profile collected yet (run the sqlservice experiment)", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, p.RenderFolded())
+		})
+		http.HandleFunc("/debug/nesclave/flame", func(w http.ResponseWriter, _ *http.Request) {
+			p := bench.LastProfile()
+			if p == nil {
+				http.Error(w, "no profile collected yet (run the sqlservice experiment)", http.StatusNotFound)
+				return
+			}
+			b, err := trace.SpansToChrome(p.Spans, 0)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(b)
+		})
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "repro: http endpoint: %v\n", err)
 			}
 		}()
-		fmt.Printf("debug endpoint on %s (/debug/vars, /debug/pprof)\n", *httpAddr)
+		fmt.Printf("debug endpoint on %s (/debug/vars, /debug/pprof, /debug/nesclave/{profile,flame})\n", *httpAddr)
 	}
 	if *jsonDir != "" {
 		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {

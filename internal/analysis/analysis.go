@@ -16,6 +16,8 @@
 //	               BillEID/ChargeTo so per-enclave accounting stays complete
 //	errcheck     — fault-returning APIs (mee.New, kos allocation, the sdk
 //	               ECall family) may not have their errors discarded
+//	spanpair     — every Recorder.BeginSpan in the span-opening layers (sdk,
+//	               sgx, core) has its End called on all paths
 //
 // Findings carry a rule ID (family/check) and can be suppressed with an
 // explicit, reasoned directive:
@@ -77,6 +79,7 @@ func All() []*Analyzer {
 		LockOrder,
 		Attribution,
 		ErrCheck,
+		SpanPair,
 	}
 }
 

@@ -72,8 +72,8 @@ func TestAllCatalogIsWellFormed(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) != 5 {
-		t.Errorf("expected the 5 house analyzers, got %d", len(seen))
+	if len(seen) != 6 {
+		t.Errorf("expected the 6 house analyzers, got %d", len(seen))
 	}
 }
 

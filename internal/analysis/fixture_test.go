@@ -118,6 +118,7 @@ func TestBoundaryFixture(t *testing.T)    { runFixture(t, "boundary", []*Analyze
 func TestLockOrderFixture(t *testing.T)   { runFixture(t, "lockorder", []*Analyzer{LockOrder}) }
 func TestAttributionFixture(t *testing.T) { runFixture(t, "attribution", []*Analyzer{Attribution}) }
 func TestErrCheckFixture(t *testing.T)    { runFixture(t, "errcheck", []*Analyzer{ErrCheck}) }
+func TestSpanPairFixture(t *testing.T)    { runFixture(t, "spanpair", []*Analyzer{SpanPair}) }
 
 // TestMetaHarness proves the fixture runner itself cannot silently pass: the
 // meta tree contains a want annotation on a clean line (stale) and a real

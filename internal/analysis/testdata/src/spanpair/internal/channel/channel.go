@@ -1,0 +1,10 @@
+// Fixture: channel is OUT of spanpair's scope — its beginSpan helper hands
+// SpanRefs to callers, so an in-function End requirement would be wrong.
+// Nothing here may produce a finding.
+package channel
+
+import "fix/internal/trace"
+
+func HelperReturnsSpan(rec *trace.Recorder) trace.SpanRef {
+	return rec.BeginSpan(trace.NoCore, trace.NoEID, "chan_send")
+}

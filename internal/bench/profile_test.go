@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"nestedenclave/internal/chaos"
+	"nestedenclave/internal/trace"
+)
+
+// TestProfileAgreement is the PR's acceptance check in test form: the span
+// call tree's per-operation inclusive-cycle sums must agree with the flat
+// PR-1 latency histograms within 1%. Spans open and close exactly where the
+// histograms sample, so any drift means spans were lost or misbracketed.
+func TestProfileAgreement(t *testing.T) {
+	p, err := ProfileSQLService(ProfileConfig{Queries: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ags := p.Agreements()
+	if len(ags) == 0 {
+		t.Fatal("no operations to cross-check; the workload exercised nothing")
+	}
+	sawWalks := false
+	for _, a := range ags {
+		if a.RelErr > 0.01 {
+			t.Errorf("%s: span cycles %d vs hist cycles %d (rel err %.3f%%, tolerance 1%%)",
+				a.Op, a.SpanCyc, a.HistCyc, 100*a.RelErr)
+		}
+		if a.Op == "page_walk" {
+			sawWalks = true
+		}
+	}
+	if !sawWalks {
+		t.Error("workload produced no page walks; the staged memory path regressed")
+	}
+}
+
+// TestProfileTreeShape pins the causal structure of the nested SQL service:
+// every n_ocall:sql_exec span is a child of an ecall:query span, and the
+// tree's root cycles equal the summed root spans.
+func TestProfileTreeShape(t *testing.T) {
+	p, err := ProfileSQLService(ProfileConfig{Queries: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[uint64]trace.Span{}
+	for _, s := range p.Spans {
+		byID[s.ID] = s
+	}
+	var nSQL int
+	for _, s := range p.Spans {
+		if s.Name != "n_ocall:sql_exec" {
+			continue
+		}
+		nSQL++
+		parent, ok := byID[s.Parent]
+		if !ok || parent.Name != "ecall:query" {
+			t.Fatalf("n_ocall:sql_exec span %d parents to %q, want ecall:query", s.ID, parent.Name)
+		}
+	}
+	if nSQL == 0 {
+		t.Fatal("no n_ocall:sql_exec spans; the nested hop disappeared")
+	}
+	// The rendered tree shows the nesting.
+	out := p.RenderTree()
+	if !strings.Contains(out, "ecall:query") || !strings.Contains(out, "  n_ocall:sql_exec") {
+		t.Errorf("rendered tree lost the nesting:\n%s", out)
+	}
+}
+
+// TestProfileFoldedStacks verifies the sampling profiler saw the real stack
+// shapes: samples exist for both the root-only and the nested stack, and no
+// stack names an operation the workload never ran.
+func TestProfileFoldedStacks(t *testing.T) {
+	p, err := ProfileSQLService(ProfileConfig{Queries: 100, Interval: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Folded["ecall:query"] == 0 {
+		t.Error("no samples landed in the root-only ecall:query stack")
+	}
+	if p.Folded["ecall:query;n_ocall:sql_exec"] == 0 {
+		t.Error("no samples landed in the nested ecall;n_ocall stack")
+	}
+	valid := map[string]bool{
+		"ecall:query": true, "n_ocall:sql_exec": true, "page_walk": true,
+		"ewb": true, "eld": true,
+	}
+	for stack := range p.Folded {
+		for _, frame := range strings.Split(stack, ";") {
+			if !valid[frame] {
+				t.Errorf("folded stack %q contains frame %q the workload never opened", stack, frame)
+			}
+		}
+	}
+}
+
+// TestChaosInjectionAnnotatesSpan verifies fault injections land as annotated
+// events inside the active span: with a core-stall site firing on every
+// access, each EvChaosInject record must be stamped with an open span that
+// completes as part of the call tree.
+func TestChaosInjectionAnnotatesSpan(t *testing.T) {
+	r, err := NewRig(SmallMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := r.M.Rec
+	rec.EnableObservation(1 << 14)
+	r.M.SetChaos(chaos.New(chaos.Config{
+		Seed: 1,
+		Sites: map[chaos.Site]chaos.SiteConfig{
+			chaos.SiteSlowCore: {Prob: 1, Budget: 32},
+		},
+	}, rec))
+
+	s, err := BuildSQLServiceStaged(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query("CREATE TABLE usertable (ycsb_key INT PRIMARY KEY, field0 TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query("INSERT INTO usertable VALUES (1, 'v')"); err != nil {
+		t.Fatal(err)
+	}
+
+	spanByID := map[uint64]trace.Span{}
+	for _, sp := range rec.Spans() {
+		spanByID[sp.ID] = sp
+	}
+	var injects, annotated int
+	for _, rc := range rec.Log().Snapshot() {
+		if rc.Event != trace.EvChaosInject {
+			continue
+		}
+		injects++
+		if rc.Span == 0 {
+			continue
+		}
+		if _, ok := spanByID[rc.Span]; ok {
+			annotated++
+		}
+	}
+	if injects == 0 {
+		t.Fatal("no chaos injections fired; the site config is wrong")
+	}
+	if annotated == 0 {
+		t.Errorf("none of %d injections attached to a completed span", injects)
+	}
+}
+
+// TestProfileDeterministic pins the committed-baseline premise end to end:
+// two full profiling runs produce identical cycle totals, histograms, and
+// folded profiles.
+func TestProfileDeterministic(t *testing.T) {
+	run := func() *ProfileResult {
+		p, err := ProfileSQLService(ProfileConfig{Queries: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles {
+		t.Fatalf("cycle totals diverged: %d vs %d", a.Cycles, b.Cycles)
+	}
+	if len(a.Spans) != len(b.Spans) {
+		t.Fatalf("span counts diverged: %d vs %d", len(a.Spans), len(b.Spans))
+	}
+	for k, v := range a.Folded {
+		if b.Folded[k] != v {
+			t.Errorf("folded stack %q diverged: %d vs %d", k, v, b.Folded[k])
+		}
+	}
+}

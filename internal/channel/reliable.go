@@ -8,6 +8,7 @@ import (
 
 	"nestedenclave/internal/chaos"
 	"nestedenclave/internal/kos"
+	"nestedenclave/internal/trace"
 )
 
 // ReliableChannel layers sequence-gap detection and bounded retransmission
@@ -37,6 +38,12 @@ type ReliableChannel struct {
 	// chaos, when set, is credited a recovery each time a repair loop
 	// cures an injected drop/corruption/duplicate.
 	chaos *chaos.Injector
+
+	// rec, when set (Trace), opens a span per send/receive/retransmit, so
+	// kernel-level IPC fault injections — which fire inside ipc.Send, below
+	// any core context — attach to the channel operation that carried them,
+	// and a repaired gap shows its retransmits nested inside the receive.
+	rec *trace.Recorder
 }
 
 // NewReliable creates an endpoint. Both ends construct it with the same name
@@ -66,6 +73,18 @@ func NewReliable(ipc *kos.IPCService, name string, key [16]byte, window int) (*R
 
 // SetChaos attributes repaired faults to the injector's IPC sites.
 func (ch *ReliableChannel) SetChaos(inj *chaos.Injector) { ch.chaos = inj }
+
+// Trace opens spans for channel operations on the recorder (nil disables).
+func (ch *ReliableChannel) Trace(rec *trace.Recorder) { ch.rec = rec }
+
+// beginSpan opens a machine-global span when tracing is on; the zero SpanRef
+// otherwise (its End is a no-op).
+func (ch *ReliableChannel) beginSpan(op string) trace.SpanRef {
+	if ch.rec == nil {
+		return trace.SpanRef{}
+	}
+	return ch.rec.BeginSpan(trace.NoCore, trace.NoEID, op+":"+ch.name)
+}
 
 // GapError reports a detected loss: the receiver needs frame Want but saw
 // frame Got (Corrupt marks an authentication failure instead of a skip).
@@ -97,6 +116,8 @@ func (ch *ReliableChannel) seal(seq uint64, payload []byte) []byte {
 // Send seals the payload under the next sequence number, records the frame
 // in the retransmit window, and hands it to the kernel.
 func (ch *ReliableChannel) Send(payload []byte) {
+	sp := ch.beginSpan("chan_send")
+	defer sp.End()
 	frame := ch.seal(ch.sendSeq, payload)
 	ch.window[ch.sendSeq] = frame
 	delete(ch.window, ch.sendSeq-uint64(ch.winSize))
@@ -107,6 +128,8 @@ func (ch *ReliableChannel) Send(payload []byte) {
 // Retransmit resends the frame with the given sequence number from the
 // window. It fails if the frame has already been evicted.
 func (ch *ReliableChannel) Retransmit(seq uint64) error {
+	sp := ch.beginSpan("chan_retransmit")
+	defer sp.End()
 	frame, ok := ch.window[seq]
 	if !ok {
 		return fmt.Errorf("channel %s: frame %d no longer in retransmit window", ch.name, seq)
@@ -163,6 +186,8 @@ func (ch *ReliableChannel) Recv() (payload []byte, ok bool, err error) {
 // retries, up to maxRepairs times. Successful repairs credit the drop or
 // corruption fault site.
 func (ch *ReliableChannel) RecvRepaired(sender *ReliableChannel, maxRepairs int) (payload []byte, ok bool, err error) {
+	sp := ch.beginSpan("chan_recv")
+	defer sp.End()
 	if maxRepairs <= 0 {
 		maxRepairs = 8
 	}

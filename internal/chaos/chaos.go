@@ -182,6 +182,15 @@ func (inj *Injector) next() uint64 {
 // Fire reports whether the site fires at this hook evaluation, consuming one
 // PRNG draw and one budget unit when it does. Nil-safe.
 func (inj *Injector) Fire(site Site) bool {
+	return inj.FireOn(site, trace.NoCore)
+}
+
+// FireOn is Fire for hook points that know the core they run on: the
+// injection record is charged on that core, which attaches it to the
+// innermost span open there — a soak trace then shows which call tree each
+// injected fault landed in. Hook points without a core (kernel IPC, MEE)
+// use Fire; their records attach via the recorder's span hint. Nil-safe.
+func (inj *Injector) FireOn(site Site, core int) bool {
 	if inj == nil {
 		return false
 	}
@@ -202,7 +211,7 @@ func (inj *Injector) Fire(site Site) bool {
 	rec := inj.rec
 	inj.mu.Unlock()
 	if rec != nil {
-		rec.ChargeToDetail(trace.NoEID, trace.NoCore, trace.EvChaosInject, 0, uint64(site))
+		rec.ChargeToDetail(trace.NoEID, core, trace.EvChaosInject, 0, uint64(site))
 	}
 	return true
 }
@@ -219,6 +228,12 @@ func (inj *Injector) FireErr(site Site, transient bool) error {
 // Recovered credits one recovery to the site: an injected fault that a
 // retry, retransmit, resume or restart cured. Nil-safe.
 func (inj *Injector) Recovered(site Site) {
+	inj.RecoveredOn(site, trace.NoCore)
+}
+
+// RecoveredOn is Recovered with core context, the FireOn counterpart: the
+// recovery record attaches to the core's innermost open span. Nil-safe.
+func (inj *Injector) RecoveredOn(site Site, core int) {
 	if inj == nil {
 		return
 	}
@@ -227,7 +242,7 @@ func (inj *Injector) Recovered(site Site) {
 	rec := inj.rec
 	inj.mu.Unlock()
 	if rec != nil {
-		rec.ChargeToDetail(trace.NoEID, trace.NoCore, trace.EvChaosRecover, 0, uint64(site))
+		rec.ChargeToDetail(trace.NoEID, core, trace.EvChaosRecover, 0, uint64(site))
 	}
 }
 

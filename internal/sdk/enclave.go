@@ -121,6 +121,8 @@ func (e *Enclave) eCall(name string, args []byte, budget int64) ([]byte, error) 
 	defer e.releaseTCS(tcsV)
 
 	m := e.host.K.Machine()
+	sp := m.Rec.BeginSpan(c.ID, uint64(e.secs.EID), "ecall:"+name)
+	defer sp.End()
 	m.Rec.ChargeTo(uint64(e.secs.EID), c.ID, trace.EvECall, 0)
 	callStart := m.Rec.Cycles()
 	// The uRTS marshals arguments into an untrusted buffer the enclave will

@@ -117,6 +117,8 @@ func (env *Env) OCall(name string, args []byte) ([]byte, error) {
 		return nil, fmt.Errorf("sdk: host has no ocall handler %q", name)
 	}
 	m := env.E.host.K.Machine()
+	sp := m.Rec.BeginSpan(env.C.ID, uint64(env.E.secs.EID), "ocall:"+name)
+	defer sp.End()
 	m.Rec.ChargeTo(uint64(env.E.secs.EID), env.C.ID, trace.EvOCall, 0)
 	callStart := m.Rec.Cycles()
 	// The tRTS scrubs registers and marshals arguments out before EEXIT.
@@ -153,6 +155,8 @@ func (env *Env) NECall(inner *Enclave, name string, args []byte) ([]byte, error)
 		return nil, fmt.Errorf("sdk: inner enclave %s has no entry %q", inner.img.Name, name)
 	}
 	m := env.E.host.K.Machine()
+	sp := m.Rec.BeginSpan(env.C.ID, uint64(inner.secs.EID), "n_ecall:"+name)
+	defer sp.End()
 	m.Rec.ChargeTo(uint64(inner.secs.EID), env.C.ID, trace.EvNECall, 0)
 	callStart := m.Rec.Cycles()
 	tcsV := inner.claimTCS()
@@ -234,6 +238,8 @@ func (env *Env) NOCall(name string, args []byte) ([]byte, error) {
 		return nil, fmt.Errorf("sdk: no outer enclave of %s exposes %q", env.E.img.Name, name)
 	}
 	m := env.E.host.K.Machine()
+	sp := m.Rec.BeginSpan(env.C.ID, uint64(outer.secs.EID), "n_ocall:"+name)
+	defer sp.End()
 	m.Rec.ChargeTo(uint64(outer.secs.EID), env.C.ID, trace.EvNOCall, 0)
 	callStart := m.Rec.Cycles()
 	marshalled := append([]byte(nil), args...)

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"nestedenclave/internal/chaos"
+	"nestedenclave/internal/trace"
 )
 
 // SupervisorConfig tunes a self-healing enclave lifecycle.
@@ -134,6 +135,11 @@ func (s *Supervisor) Restart() error {
 	}
 	s.restarts++
 	m := s.h.K.Machine()
+	// The restart is machine-global work (teardown, reload, restore); its
+	// span opens on NoCore so injected faults cured by the reload retries
+	// show up inside it.
+	sp := m.Rec.BeginSpan(trace.NoCore, trace.NoEID, "restart:"+s.si.Image.Name)
+	defer sp.End()
 	old := s.e
 	s.e = nil
 	var poisonReason string

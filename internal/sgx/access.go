@@ -27,10 +27,10 @@ func (c *Core) maybeChaos() error {
 	if inj == nil {
 		return nil
 	}
-	if inj.Fire(chaos.SiteSlowCore) {
+	if inj.FireOn(chaos.SiteSlowCore, c.ID) {
 		c.m.Rec.Advance(slowCoreStallCycles * int64(inj.Burst(chaos.SiteSlowCore)))
 	}
-	if c.inEnclave && inj.Fire(chaos.SiteAEXStorm) {
+	if c.inEnclave && inj.FireOn(chaos.SiteAEXStorm, c.ID) {
 		for i := inj.Burst(chaos.SiteAEXStorm); i > 0 && c.inEnclave; i-- {
 			t := c.curTCS
 			if err := c.m.AEX(c); err != nil {
@@ -51,8 +51,10 @@ func (c *Core) translateLocked(v isa.VAddr, op isa.Access) (pa isa.PAddr, abort 
 	rec := c.m.Rec
 	eid := c.BillEID()
 	// The memory hierarchy below (LLC, MEE) has no protection context of its
-	// own; bill its line operations to the enclave driving this access.
+	// own; bill its line operations to the enclave driving this access, and
+	// parent them under the innermost span of the driving core.
 	rec.SetBillHint(eid)
+	rec.SetSpanHint(rec.CurrentSpan(c.ID))
 	if e, ok := c.TLB.Lookup(v); ok && e.Perms.Allows(op) {
 		return isa.PAddr(e.PPN<<isa.PageShift | v.Offset()), false, nil
 	}
@@ -61,6 +63,9 @@ func (c *Core) translateLocked(v isa.VAddr, op isa.Access) (pa isa.PAddr, abort 
 	// classified as nested when the Figure-6 outer-enclave branch fired.
 	walkStart := rec.Cycles()
 	nested0 := rec.Get(trace.EvNestedValidate)
+	sp := rec.BeginSpan(c.ID, eid, "page_walk")
+	defer sp.End()
+	rec.SetSpanHint(sp.ID())
 	rec.ChargeToDetail(eid, c.ID, trace.EvPageWalk, trace.CostPageWalk, v.VPN())
 	if c.PT == nil {
 		return 0, false, isa.PF(v, op, "no address space installed")
@@ -115,6 +120,9 @@ func (c *Core) handleFault(err error) bool {
 	if c.inEnclave {
 		c.m.Rec.ChargeTo(c.BillEID(), c.ID, trace.EvAEX, trace.CostAEX)
 	}
+	// The kernel pager runs below any core context (its EWB/ELD spans open
+	// on NoCore); parent them under the faulting call's span.
+	c.m.Rec.SetSpanHint(c.m.Rec.CurrentSpan(c.ID))
 	return c.PFHandler(c, f)
 }
 

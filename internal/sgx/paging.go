@@ -120,8 +120,11 @@ func (m *Machine) EWB(page int) (*EvictedPage, error) {
 	pa := m.EPC.AddrOf(page)
 	ppn := pa.PPN()
 	// Bill the flush/seal memory traffic to the page's owner and observe the
-	// whole eviction as one latency sample.
+	// whole eviction as one latency sample. The span opens on NoCore, so it
+	// parents under the faulting call the pager is serving (the span hint).
 	m.Rec.SetBillHint(uint64(ent.Owner))
+	sp := m.Rec.BeginSpan(trace.NoCore, uint64(ent.Owner), "ewb")
+	defer sp.End()
 	ewbStart := m.Rec.Cycles()
 	for _, c := range m.cores {
 		for _, e := range c.TLB.Entries() {
@@ -183,6 +186,8 @@ func (m *Machine) ELDU(blob *EvictedPage) (int, error) {
 		return 0, isa.GP("ELDU: owner enclave %d no longer exists", blob.Owner)
 	}
 	m.Rec.SetBillHint(uint64(blob.Owner))
+	sp := m.Rec.BeginSpan(trace.NoCore, uint64(blob.Owner), "eld")
+	defer sp.End()
 	eldStart := m.Rec.Cycles()
 	page, err := m.EPC.Alloc(blob.Owner, blob.Type, blob.Vaddr, blob.Perms)
 	if err != nil {

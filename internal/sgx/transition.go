@@ -121,7 +121,9 @@ func (m *Machine) aexLocked(c *Core) error {
 	c.cur = nil
 	c.curTCS = nil
 	c.TLB.BillEID = trace.NoEID
+	sp := m.Rec.BeginSpan(c.ID, uint64(interrupted), "aex")
 	m.Rec.ChargeTo(uint64(interrupted), c.ID, trace.EvAEX, trace.CostAEX)
+	sp.End()
 	return nil
 }
 

@@ -77,6 +77,9 @@ func ChromeTrace(recs []Record, cyclesPerUS float64) ([]byte, error) {
 		if r.Detail != 0 {
 			ev.Args["detail"] = r.Detail
 		}
+		if r.Span != 0 {
+			ev.Args["span"] = r.Span
+		}
 		if r.Cost > 0 {
 			ev.Ph = "X"
 			ev.Ts = float64(r.Cycles-r.Cost) / cyclesPerUS
@@ -155,5 +158,170 @@ func WritePrometheus(w io.Writer, r *Recorder) error {
 		p("nesclave_op_cycles_sum{op=%q} %d\n", op.String(), s.Sum)
 		p("nesclave_op_cycles_count{op=%q} %d\n", op.String(), s.Count)
 	}
+
+	p("# HELP nesclave_op_cycles_quantile Latency quantiles of composite operations (log2-bucket upper bounds).\n")
+	p("# TYPE nesclave_op_cycles_quantile gauge\n")
+	for op := Op(0); op < numOps; op++ {
+		s := r.Hist(op).Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"0.5", 0.5}, {"0.99", 0.99}, {"0.999", 0.999}} {
+			p("nesclave_op_cycles_quantile{op=%q,q=%q} %d\n", op.String(), q.label, s.Quantile(q.q))
+		}
+	}
 	return err
+}
+
+// WriteFolded dumps the sampling profile in collapsed-stack ("folded")
+// format — one "frame;frame;frame count" line per distinct stack, sorted —
+// directly consumable by flamegraph.pl and speedscope.
+func WriteFolded(w io.Writer, r *Recorder) error {
+	folded := r.FoldedStacks()
+	keys := make([]string, 0, len(folded))
+	for k := range folded {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, folded[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SpansToChrome renders completed spans (as returned by Recorder.Spans) as
+// Chrome trace_event JSON: each span becomes a complete ("X") event carrying
+// its span and parent IDs, pid = EID, tid = core — the flame view of the
+// call tree. cyclesPerUS as in ChromeTrace.
+func SpansToChrome(spans []Span, cyclesPerUS float64) ([]byte, error) {
+	if cyclesPerUS <= 0 {
+		cyclesPerUS = CyclesPerUS
+	}
+	var events []chromeEvent
+
+	eids := make(map[uint64]bool)
+	for _, s := range spans {
+		eids[s.EID] = true
+	}
+	sorted := make([]uint64, 0, len(eids))
+	for e := range eids {
+		sorted = append(sorted, e)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, e := range sorted {
+		name := fmt.Sprintf("enclave %d", e)
+		if e == NoEID {
+			name = "untrusted"
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: e,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	for _, s := range spans {
+		dur := float64(s.End-s.Start) / cyclesPerUS
+		args := map[string]any{"span": s.ID}
+		if s.Parent != 0 {
+			args["parent"] = s.Parent
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.Start) / cyclesPerUS,
+			Dur:  &dur,
+			Pid:  s.EID,
+			Tid:  int64(s.Core),
+			Args: args,
+		})
+	}
+	return json.Marshal(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// SpanNode is one node of a name-aggregated call tree: all spans sharing the
+// same root-to-node name path merge into one node accumulating their count
+// and inclusive cycles.
+type SpanNode struct {
+	Name     string
+	Count    int64
+	Cycles   int64 // inclusive: children's cycles are part of the parent's
+	Children []*SpanNode
+}
+
+// child returns (creating if needed) the named child.
+func (n *SpanNode) child(name string) *SpanNode {
+	for _, c := range n.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	c := &SpanNode{Name: name}
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// Walk visits the tree depth-first; depth starts at 0 for the root's
+// children (the root itself, an empty aggregation node, is skipped).
+func (n *SpanNode) Walk(visit func(depth int, node *SpanNode)) {
+	var rec func(depth int, node *SpanNode)
+	rec = func(depth int, node *SpanNode) {
+		visit(depth, node)
+		for _, c := range node.Children {
+			rec(depth+1, c)
+		}
+	}
+	for _, c := range n.Children {
+		rec(0, c)
+	}
+}
+
+// AggregateSpans folds completed spans into a call tree keyed by name path.
+// A span whose parent fell out of the bounded span ring roots its subtree at
+// the top level — the tree degrades gracefully under ring eviction rather
+// than dropping orphans. Children sort by descending inclusive cycles.
+func AggregateSpans(spans []Span) *SpanNode {
+	byID := make(map[uint64]*Span, len(spans))
+	for i := range spans {
+		byID[spans[i].ID] = &spans[i]
+	}
+	// path returns the root-to-span name chain, following Parent links as
+	// far as the ring still remembers them.
+	var path func(s *Span) []string
+	path = func(s *Span) []string {
+		if s.Parent != 0 {
+			if p, ok := byID[s.Parent]; ok {
+				return append(path(p), s.Name)
+			}
+		}
+		return []string{s.Name}
+	}
+	root := &SpanNode{}
+	for i := range spans {
+		s := &spans[i]
+		node := root
+		for _, name := range path(s) {
+			node = node.child(name)
+		}
+		node.Count++
+		node.Cycles += s.End - s.Start
+	}
+	var sortRec func(n *SpanNode)
+	sortRec = func(n *SpanNode) {
+		sort.Slice(n.Children, func(i, j int) bool {
+			if n.Children[i].Cycles != n.Children[j].Cycles {
+				return n.Children[i].Cycles > n.Children[j].Cycles
+			}
+			return n.Children[i].Name < n.Children[j].Name
+		})
+		for _, c := range n.Children {
+			sortRec(c)
+		}
+	}
+	sortRec(root)
+	return root
 }

@@ -135,3 +135,63 @@ func TestWritePrometheus(t *testing.T) {
 		t.Errorf("cumulative bucket line missing:\n%s", out)
 	}
 }
+
+// TestWritePrometheusQuantiles is the golden test for the quantile gauge
+// block: a skewed distribution with known bucket placement must produce
+// exactly these p50/p99/p999 lines (log2-bucket upper bounds).
+func TestWritePrometheusQuantiles(t *testing.T) {
+	var r Recorder
+	r.EnableObservation(0)
+	// 98 fast samples (bucket le=127), one mid (le=1023), one tail
+	// (le=131071): p50 hits the fast bucket, p99 the mid, p999 the tail.
+	for i := 0; i < 98; i++ {
+		r.Observe(OpECall, 100)
+	}
+	r.Observe(OpECall, 1000)
+	r.Observe(OpECall, 100_000)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, &r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	golden := []string{
+		"# HELP nesclave_op_cycles_quantile Latency quantiles of composite operations (log2-bucket upper bounds).",
+		"# TYPE nesclave_op_cycles_quantile gauge",
+		`nesclave_op_cycles_quantile{op="ecall",q="0.5"} 127`,
+		`nesclave_op_cycles_quantile{op="ecall",q="0.99"} 1023`,
+		`nesclave_op_cycles_quantile{op="ecall",q="0.999"} 131071`,
+	}
+	for _, want := range golden {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing quantile line %q in:\n%s", want, out)
+		}
+	}
+	// Ops with no observations must not emit quantile series.
+	if strings.Contains(out, `nesclave_op_cycles_quantile{op="ocall"`) {
+		t.Errorf("quantile series for unobserved op leaked:\n%s", out)
+	}
+}
+
+// TestWriteFolded pins the collapsed-stack export: deterministic ordering,
+// "stack count" lines, flamegraph.pl-consumable.
+func TestWriteFolded(t *testing.T) {
+	var r Recorder
+	r.EnableObservation(0)
+	r.EnableProfiler(100)
+	outer := r.BeginSpan(0, 1, "ecall:q")
+	r.ChargeTo(1, 0, EvEENTER, 350) // crosses 3 boundaries under the outer span
+	inner := r.BeginSpan(0, 2, "n_ecall:f")
+	r.ChargeTo(2, 0, EvNEENTER, 100) // crosses 1 under outer;inner
+	inner.End()
+	outer.End()
+
+	var buf bytes.Buffer
+	if err := WriteFolded(&buf, &r); err != nil {
+		t.Fatal(err)
+	}
+	want := "ecall:q 3\necall:q;n_ecall:f 1\n"
+	if buf.String() != want {
+		t.Errorf("folded output = %q, want %q", buf.String(), want)
+	}
+}

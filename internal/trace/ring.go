@@ -36,6 +36,10 @@ type Record struct {
 	// Detail is an event-specific word (virtual page number for walks,
 	// virtual address for paging ops), 0 when unused.
 	Detail uint64
+	// Span is the innermost span open on the record's core when the event
+	// was charged (see span.go), 0 when none — the causal link that places
+	// the event inside a call tree.
+	Span uint64
 }
 
 type logSlot struct {

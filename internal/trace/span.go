@@ -1,0 +1,373 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements causal span tracing on top of the flat observability
+// layer: every composite operation (ecall, ocall, n_ecall, n_ocall, page
+// walk, EWB/ELD, AEX, supervisor restart, channel retransmit) opens a span
+// carrying the ID of its parent, so the full nested call tree — host → outer
+// enclave → inner enclave → back — is reconstructable after the run. Spans
+// live on per-core stacks inside the observation sink; every event-log
+// Record is stamped with the innermost open span on its core, which is how
+// zero-cost annotations (chaos injections, faults) attach to the call tree
+// they landed in.
+//
+// A simulated-cycle sampling profiler rides on the same stacks: each charge
+// that crosses a sampling boundary snapshots every core's open-span stack
+// into a pprof-style folded-stack profile (see WriteFolded / FoldedStacks).
+//
+// Like the rest of the observation layer, all of it vanishes when
+// observation is off: BeginSpan on a disabled recorder returns the zero
+// SpanRef, whose End is a no-op.
+
+// Span is one completed span. Start and End are simulated-cycle clock
+// readings; End-Start is the span's inclusive duration (children included),
+// matching what the composite-operation histograms observe for the same
+// operation.
+type Span struct {
+	// ID is the span's unique, monotonically assigned identity (1-based;
+	// 0 means "no span").
+	ID uint64
+	// Parent is the ID of the span open below this one when it began, or 0
+	// for a root span.
+	Parent uint64
+	// Name identifies the operation ("ecall:query", "page_walk", "ewb", ...).
+	Name string
+	// EID is the enclave the span's operation executes for, NoEID for host.
+	EID uint64
+	// Core is the logical processor, NoCore for machine-global spans.
+	Core int32
+	// Start and End are the simulated clock at open and close.
+	Start, End int64
+}
+
+// Cycles returns the span's inclusive duration.
+func (s Span) Cycles() int64 { return s.End - s.Start }
+
+// spanSlots bounds the per-core span stacks: slot 0 carries NoCore (and any
+// core beyond the bound, which no configuration reaches), slot c+1 carries
+// core c.
+const spanSlots = 65
+
+func spanSlot(core int) int {
+	if core < 0 || core >= spanSlots-1 {
+		return 0
+	}
+	return core + 1
+}
+
+// spanFrame is one open span on a stack.
+type spanFrame struct {
+	id     uint64
+	parent uint64
+	name   string
+	eid    uint64
+	core   int32
+	start  int64
+}
+
+type spanStack struct {
+	mu     sync.Mutex
+	frames []spanFrame
+}
+
+// top returns the innermost open span ID, 0 when empty.
+func (st *spanStack) top() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if n := len(st.frames); n > 0 {
+		return st.frames[n-1].id
+	}
+	return 0
+}
+
+// spanState is the span half of the observation sink: the ID allocator, the
+// per-core stacks of open spans, the ring of completed spans, and the parent
+// hint for spans opened below the protection context (paging, MEE-level
+// work), which runs on NoCore and inherits the faulting call's span the same
+// way billHint carries its enclave.
+type spanState struct {
+	seq    atomic.Uint64
+	stacks [spanSlots]spanStack
+	done   *spanRing
+	hint   atomic.Uint64
+	prof   atomic.Pointer[profState]
+}
+
+// spanTop returns the innermost open span for a core, falling back to the
+// hint for machine-global (NoCore) charges with no open machine-global span.
+func (ss *spanState) spanTop(core int) uint64 {
+	slot := spanSlot(core)
+	if id := ss.stacks[slot].top(); id != 0 {
+		return id
+	}
+	if slot == 0 {
+		return ss.hint.Load()
+	}
+	return 0
+}
+
+// SpanRef is a handle to an open span. The zero SpanRef (returned when
+// observation is off) is valid and End is a no-op on it.
+type SpanRef struct {
+	rec  *Recorder
+	st   *spanState
+	id   uint64
+	slot int32
+}
+
+// ID returns the open span's identity, 0 for the zero SpanRef.
+func (ref SpanRef) ID() uint64 { return ref.id }
+
+// BeginSpan opens a span on the core's stack. Its parent is the innermost
+// span already open on that stack — or, for machine-global (NoCore) spans,
+// the span named by the last SetSpanHint. Returns the zero SpanRef when
+// observation is disabled.
+func (r *Recorder) BeginSpan(core int, eid uint64, name string) SpanRef {
+	s := r.sink.Load()
+	if s == nil {
+		return SpanRef{}
+	}
+	ss := &s.spans
+	id := ss.seq.Add(1)
+	slot := spanSlot(core)
+	st := &ss.stacks[slot]
+	st.mu.Lock()
+	var parent uint64
+	if n := len(st.frames); n > 0 {
+		parent = st.frames[n-1].id
+	} else if slot == 0 {
+		parent = ss.hint.Load()
+	}
+	st.frames = append(st.frames, spanFrame{
+		id: id, parent: parent, name: name,
+		eid: eid, core: int32(core), start: r.Cycles(),
+	})
+	st.mu.Unlock()
+	return SpanRef{rec: r, st: ss, id: id, slot: int32(slot)}
+}
+
+// End closes the span: it is removed from its stack and the completed Span
+// is appended to the span ring. End tolerates a missing frame (the sink was
+// swapped, or the frame was already closed) and out-of-order closure.
+func (ref SpanRef) End() {
+	if ref.st == nil {
+		return
+	}
+	st := &ref.st.stacks[ref.slot]
+	st.mu.Lock()
+	var frame spanFrame
+	found := false
+	for i := len(st.frames) - 1; i >= 0; i-- {
+		if st.frames[i].id == ref.id {
+			frame = st.frames[i]
+			st.frames = append(st.frames[:i], st.frames[i+1:]...)
+			found = true
+			break
+		}
+	}
+	st.mu.Unlock()
+	if !found {
+		return
+	}
+	ref.st.done.append(Span{
+		ID: frame.id, Parent: frame.parent, Name: frame.name,
+		EID: frame.eid, Core: frame.core,
+		Start: frame.start, End: ref.rec.Cycles(),
+	})
+}
+
+// SetSpanHint names the span that machine-global (NoCore) spans and charges
+// attach under — the span-tree analogue of SetBillHint. The fault path
+// stores the faulting call's span here before invoking the kernel pager so
+// EWB/ELD work stays inside the call tree that triggered it.
+func (r *Recorder) SetSpanHint(id uint64) {
+	if s := r.sink.Load(); s != nil {
+		s.spans.hint.Store(id)
+	}
+}
+
+// CurrentSpan returns the innermost open span on the core, 0 when none (or
+// observation is off).
+func (r *Recorder) CurrentSpan(core int) uint64 {
+	if s := r.sink.Load(); s != nil {
+		return s.spans.spanTop(core)
+	}
+	return 0
+}
+
+// Spans snapshots the completed-span ring in completion order. Empty when
+// observation is disabled.
+func (r *Recorder) Spans() []Span {
+	if s := r.sink.Load(); s != nil {
+		return s.spans.done.snapshot()
+	}
+	return nil
+}
+
+// spanRing is a bounded ring of completed spans, the span-tree counterpart
+// of EventLog: one atomic sequence allocator plus a per-slot mutex, oldest
+// spans overwritten when full.
+type spanRing struct {
+	mask  uint64
+	seq   atomic.Uint64
+	slots []spanRingSlot
+}
+
+type spanRingSlot struct {
+	mu   sync.Mutex
+	seq  uint64 // 0 means never written
+	span Span
+}
+
+func newSpanRing(capacity int) *spanRing {
+	n := 64
+	for n < capacity {
+		n <<= 1
+	}
+	return &spanRing{mask: uint64(n - 1), slots: make([]spanRingSlot, n)}
+}
+
+func (l *spanRing) append(sp Span) {
+	s := l.seq.Add(1)
+	slot := &l.slots[(s-1)&l.mask]
+	slot.mu.Lock()
+	// A slower writer from a previous lap must not clobber a newer span.
+	if slot.seq < s {
+		slot.seq = s
+		slot.span = sp
+	}
+	slot.mu.Unlock()
+}
+
+func (l *spanRing) snapshot() []Span {
+	type entry struct {
+		seq  uint64
+		span Span
+	}
+	tmp := make([]entry, 0, len(l.slots))
+	for i := range l.slots {
+		l.slots[i].mu.Lock()
+		if l.slots[i].seq != 0 {
+			tmp = append(tmp, entry{l.slots[i].seq, l.slots[i].span})
+		}
+		l.slots[i].mu.Unlock()
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i].seq < tmp[j].seq })
+	out := make([]Span, len(tmp))
+	for i, e := range tmp {
+		out[i] = e.span
+	}
+	return out
+}
+
+// profState is the simulated-cycle sampling profiler. Every observed charge
+// checks whether the clock crossed the next sampling boundary; the single
+// charge that wins the CAS snapshots every core's open-span stack and folds
+// it into the profile, weighted by the number of boundaries crossed. The
+// sampling clock is the simulated clock, so profiles are as deterministic as
+// the workload that produced them.
+type profState struct {
+	interval int64
+	next     atomic.Int64
+	mu       sync.Mutex
+	samples  map[string]int64
+}
+
+// EnableProfiler turns on simulated-cycle stack sampling with the given
+// interval (minimum 1 cycle). Observation must already be enabled; the
+// profiler is dropped with the rest of the sink on DisableObservation.
+func (r *Recorder) EnableProfiler(intervalCycles int64) {
+	s := r.sink.Load()
+	if s == nil {
+		return
+	}
+	if intervalCycles < 1 {
+		intervalCycles = 1
+	}
+	p := &profState{interval: intervalCycles, samples: make(map[string]int64)}
+	p.next.Store(r.Cycles() + intervalCycles)
+	s.spans.prof.Store(p)
+}
+
+// DisableProfiler stops sampling; the accumulated profile is dropped.
+func (r *Recorder) DisableProfiler() {
+	if s := r.sink.Load(); s != nil {
+		s.spans.prof.Store(nil)
+	}
+}
+
+// maybeSample folds the current span stacks into the profile if the clock
+// crossed a sampling boundary. Called on every observed charge.
+func (ss *spanState) maybeSample(clock int64) {
+	p := ss.prof.Load()
+	if p == nil {
+		return
+	}
+	next := p.next.Load()
+	if clock < next {
+		return
+	}
+	// Claim every boundary in (next, clock] in one CAS; the loser's charge
+	// simply isn't the sampling one.
+	crossed := (clock-next)/p.interval + 1
+	if !p.next.CompareAndSwap(next, next+crossed*p.interval) {
+		return
+	}
+	for slot := range ss.stacks {
+		st := &ss.stacks[slot]
+		st.mu.Lock()
+		if len(st.frames) == 0 {
+			st.mu.Unlock()
+			continue
+		}
+		var b []byte
+		for i, f := range st.frames {
+			if i > 0 {
+				b = append(b, ';')
+			}
+			b = append(b, f.name...)
+		}
+		key := string(b)
+		st.mu.Unlock()
+		p.mu.Lock()
+		p.samples[key] += crossed
+		p.mu.Unlock()
+	}
+}
+
+// FoldedStacks snapshots the sampling profile: folded stack ("root;child;
+// leaf") → sample count. Each sample represents one profiler interval of
+// simulated time on one core. Empty when the profiler is off.
+func (r *Recorder) FoldedStacks() map[string]int64 {
+	out := make(map[string]int64)
+	s := r.sink.Load()
+	if s == nil {
+		return out
+	}
+	p := s.spans.prof.Load()
+	if p == nil {
+		return out
+	}
+	p.mu.Lock()
+	for k, v := range p.samples {
+		out[k] = v
+	}
+	p.mu.Unlock()
+	return out
+}
+
+// ProfileInterval returns the profiler's sampling interval in simulated
+// cycles, 0 when the profiler is off.
+func (r *Recorder) ProfileInterval() int64 {
+	if s := r.sink.Load(); s != nil {
+		if p := s.spans.prof.Load(); p != nil {
+			return p.interval
+		}
+	}
+	return 0
+}

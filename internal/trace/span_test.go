@@ -1,0 +1,351 @@
+package trace
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestSpanParentChild verifies the core causal property: spans opened while
+// another is open on the same core link to it, siblings share the parent, and
+// the completed spans carry the clock readings bracketing their charges.
+func TestSpanParentChild(t *testing.T) {
+	var r Recorder
+	r.EnableObservation(256)
+
+	outer := r.BeginSpan(0, 1, "ecall:q")
+	if outer.ID() == 0 {
+		t.Fatal("BeginSpan on an observing recorder returned the zero ref")
+	}
+	r.ChargeTo(1, 0, EvEENTER, CostEENTER)
+
+	inner := r.BeginSpan(0, 2, "n_ecall:f")
+	r.ChargeTo(2, 0, EvNEENTER, CostNEENTER)
+	inner.End()
+
+	inner2 := r.BeginSpan(0, 2, "page_walk")
+	r.ChargeTo(2, 0, EvPageWalk, CostPageWalk)
+	inner2.End()
+
+	outer.End()
+
+	spans := r.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d completed spans, want 3", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	o := byName["ecall:q"]
+	if o.Parent != 0 {
+		t.Errorf("outer span parent = %d, want 0 (root)", o.Parent)
+	}
+	for _, name := range []string{"n_ecall:f", "page_walk"} {
+		c := byName[name]
+		if c.Parent != o.ID {
+			t.Errorf("%s parent = %d, want outer %d", name, c.Parent, o.ID)
+		}
+		if c.Start < o.Start || c.End > o.End {
+			t.Errorf("%s [%d,%d] not inside outer [%d,%d]", name, c.Start, c.End, o.Start, o.End)
+		}
+		if c.Cycles() <= 0 {
+			t.Errorf("%s cycles = %d, want > 0", name, c.Cycles())
+		}
+	}
+	if o.EID != 1 || o.Core != 0 {
+		t.Errorf("outer identity = (eid %d, core %d), want (1, 0)", o.EID, o.Core)
+	}
+}
+
+// TestSpanDisabled pins the zero-cost contract: with observation off,
+// BeginSpan returns the zero ref, End is a no-op, and nothing accumulates.
+func TestSpanDisabled(t *testing.T) {
+	var r Recorder
+	sp := r.BeginSpan(0, 1, "ecall:q")
+	if sp.ID() != 0 {
+		t.Errorf("disabled BeginSpan ID = %d, want 0", sp.ID())
+	}
+	sp.End() // must not panic
+	if got := r.Spans(); len(got) != 0 {
+		t.Errorf("disabled recorder has %d spans, want 0", len(got))
+	}
+	r.SetSpanHint(7) // no-op, must not panic
+	if r.CurrentSpan(0) != 0 {
+		t.Error("disabled CurrentSpan != 0")
+	}
+}
+
+// TestSpanHint verifies the NoCore parenting path the kernel pager relies on:
+// a machine-global span with no open machine-global parent attaches under the
+// hinted span, exactly like billHint carries attribution across the
+// protection boundary.
+func TestSpanHint(t *testing.T) {
+	var r Recorder
+	r.EnableObservation(256)
+
+	call := r.BeginSpan(2, 1, "ecall:q")
+	r.SetSpanHint(call.ID())
+
+	ewb := r.BeginSpan(NoCore, 3, "ewb")
+	r.ChargeTo(3, NoCore, EvEWB, CostDRAMAccess)
+	ewb.End()
+
+	r.SetSpanHint(0)
+	orphan := r.BeginSpan(NoCore, 3, "eld")
+	orphan.End()
+	call.End()
+
+	byName := map[string]Span{}
+	for _, s := range r.Spans() {
+		byName[s.Name] = s
+	}
+	if got := byName["ewb"].Parent; got != call.ID() {
+		t.Errorf("hinted NoCore span parent = %d, want %d", got, call.ID())
+	}
+	if got := byName["eld"].Parent; got != 0 {
+		t.Errorf("unhinted NoCore span parent = %d, want 0", got)
+	}
+}
+
+// TestSpanStampsRecords verifies that event-log records carry the innermost
+// open span of their core — the link that lets annotations (chaos injections,
+// faults) be placed in the call tree.
+func TestSpanStampsRecords(t *testing.T) {
+	var r Recorder
+	r.EnableObservation(256)
+
+	r.ChargeTo(1, 0, EvEENTER, CostEENTER) // before any span: stamp 0
+	sp := r.BeginSpan(0, 1, "ecall:q")
+	r.ChargeTo(1, 0, EvTLBFlush, CostTLBFlush) // inside: stamp sp
+	sp.End()
+	r.ChargeTo(1, 0, EvEEXIT, CostEEXIT) // after: stamp 0
+
+	var before, inside, after Record
+	for _, rec := range r.Log().Snapshot() {
+		switch rec.Event {
+		case EvEENTER:
+			before = rec
+		case EvTLBFlush:
+			inside = rec
+		case EvEEXIT:
+			after = rec
+		}
+	}
+	if before.Span != 0 {
+		t.Errorf("pre-span record stamped with span %d, want 0", before.Span)
+	}
+	if inside.Span != sp.ID() {
+		t.Errorf("in-span record stamped with %d, want %d", inside.Span, sp.ID())
+	}
+	if after.Span != 0 {
+		t.Errorf("post-span record stamped with span %d, want 0", after.Span)
+	}
+}
+
+// TestSpanEndTolerant pins End's safety properties: double End, End after the
+// sink was swapped away, and out-of-order closure must all be safe.
+func TestSpanEndTolerant(t *testing.T) {
+	var r Recorder
+	r.EnableObservation(256)
+
+	sp := r.BeginSpan(0, 1, "ecall:q")
+	sp.End()
+	sp.End() // double close: no-op
+	if n := len(r.Spans()); n != 1 {
+		t.Errorf("double End produced %d spans, want 1", n)
+	}
+
+	// Out-of-order closure: the outer End removes only its own frame.
+	a := r.BeginSpan(1, 1, "a")
+	b := r.BeginSpan(1, 1, "b")
+	a.End()
+	if got := r.CurrentSpan(1); got != b.ID() {
+		t.Errorf("after out-of-order End, current span = %d, want %d", got, b.ID())
+	}
+	b.End()
+
+	// End across a sink swap must not panic or corrupt the new sink.
+	c := r.BeginSpan(0, 1, "c")
+	r.DisableObservation()
+	r.EnableObservation(256)
+	c.End()
+	if n := len(r.Spans()); n != 0 {
+		t.Errorf("stale End leaked %d spans into the fresh sink", n)
+	}
+}
+
+// TestSpanRingEviction verifies the completed-span ring is bounded and keeps
+// the newest spans when it wraps.
+func TestSpanRingEviction(t *testing.T) {
+	var r Recorder
+	r.EnableObservation(64) // span ring floor is 1024
+	const total = 3000
+	for i := 0; i < total; i++ {
+		sp := r.BeginSpan(0, 1, "op")
+		r.ChargeTo(1, 0, EvLLCHit, 1)
+		sp.End()
+	}
+	spans := r.Spans()
+	if len(spans) == 0 || len(spans) > 1024 {
+		t.Fatalf("ring snapshot has %d spans, want (0, 1024]", len(spans))
+	}
+	// The newest span must have survived; IDs are monotonic.
+	maxID := spans[len(spans)-1].ID
+	for _, s := range spans {
+		if s.ID > maxID {
+			maxID = s.ID
+		}
+	}
+	if maxID != uint64(total) {
+		t.Errorf("newest surviving span ID = %d, want %d", maxID, total)
+	}
+}
+
+// runProfiledWorkload is a fixed span/charge sequence used to pin profiler
+// determinism: same charges on the same simulated clock → same profile.
+func runProfiledWorkload(r *Recorder) {
+	for i := 0; i < 50; i++ {
+		outer := r.BeginSpan(0, 1, "ecall:q")
+		r.ChargeTo(1, 0, EvEENTER, CostEENTER)
+		inner := r.BeginSpan(0, 2, "n_ecall:f")
+		r.ChargeTo(2, 0, EvNEENTER, CostNEENTER)
+		r.ChargeTo(2, 0, EvNEEXIT, CostNEEXIT)
+		inner.End()
+		r.ChargeTo(1, 0, EvEEXIT, CostEEXIT)
+		outer.End()
+	}
+}
+
+// TestProfilerDeterministic runs the identical workload twice and demands
+// identical folded-stack profiles: sampling rides the simulated clock, not
+// wall time, so profiles are exactly reproducible.
+func TestProfilerDeterministic(t *testing.T) {
+	run := func() (map[string]int64, int64) {
+		var r Recorder
+		r.EnableObservation(4096)
+		r.EnableProfiler(500)
+		runProfiledWorkload(&r)
+		return r.FoldedStacks(), r.Cycles()
+	}
+	p1, c1 := run()
+	p2, c2 := run()
+	if c1 != c2 {
+		t.Fatalf("clock diverged: %d vs %d", c1, c2)
+	}
+	if len(p1) == 0 {
+		t.Fatal("profiler collected no samples")
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Errorf("profiles differ:\n  run1: %v\n  run2: %v", p1, p2)
+	}
+	// Total samples must equal the boundaries the clock crossed: one sample
+	// per interval per core with an open stack — here exactly one core is
+	// ever active, so total == floor(cycles/interval) within one interval.
+	var total int64
+	for k, v := range p1 {
+		if k != "ecall:q" && k != "ecall:q;n_ecall:f" {
+			t.Errorf("unexpected folded stack %q", k)
+		}
+		total += v
+	}
+	want := c1 / 500
+	if total < want-1 || total > want {
+		t.Errorf("total samples = %d, want ~%d (cycles %d / interval 500)", total, want, c1)
+	}
+}
+
+// TestProfilerInterval pins the enable/disable lifecycle.
+func TestProfilerInterval(t *testing.T) {
+	var r Recorder
+	r.EnableProfiler(100) // observation off: no-op
+	if got := r.ProfileInterval(); got != 0 {
+		t.Errorf("profiler enabled without observation: interval %d", got)
+	}
+	r.EnableObservation(64)
+	r.EnableProfiler(0) // clamps to 1
+	if got := r.ProfileInterval(); got != 1 {
+		t.Errorf("interval = %d, want clamp to 1", got)
+	}
+	r.DisableProfiler()
+	if got := r.ProfileInterval(); got != 0 {
+		t.Errorf("interval after disable = %d, want 0", got)
+	}
+	if got := r.FoldedStacks(); len(got) != 0 {
+		t.Errorf("profile after disable has %d stacks", len(got))
+	}
+}
+
+// TestSpanRaceHammer mirrors TestRecorderRaceHammer for the span layer: many
+// goroutines open/close nested spans on distinct and shared cores, charge
+// inside them, and flip the span hint, while readers snapshot spans, folded
+// stacks, and the log, and the profiler samples throughout — all against a
+// small, constantly wrapping span ring. Run under -race in tier2.
+func TestSpanRaceHammer(t *testing.T) {
+	var r Recorder
+	r.EnableObservation(64)
+	r.EnableProfiler(50)
+
+	var wg sync.WaitGroup
+	const writers, per = 8, 1500
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			core := id % 4 // shared cores: concurrent stack mutation
+			eid := uint64(id%3 + 1)
+			for i := 0; i < per; i++ {
+				switch i % 3 {
+				case 0:
+					sp := r.BeginSpan(core, eid, "ecall:q")
+					r.ChargeTo(eid, core, EvEENTER, CostEENTER)
+					in := r.BeginSpan(core, eid, "page_walk")
+					r.ChargeToDetail(eid, core, EvPageWalk, CostPageWalk, uint64(i))
+					in.End()
+					sp.End()
+				case 1:
+					r.SetSpanHint(uint64(i))
+					sp := r.BeginSpan(NoCore, eid, "ewb")
+					r.ChargeTo(eid, NoCore, EvEWB, CostDRAMAccess)
+					sp.End()
+				case 2:
+					_ = r.CurrentSpan(core)
+					r.Observe(OpECall, int64(i))
+				}
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_ = r.Spans()
+			_ = r.FoldedStacks()
+			if l := r.Log(); l != nil {
+				_ = l.Snapshot()
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(done)
+	readers.Wait()
+
+	spans := r.Spans()
+	if len(spans) == 0 {
+		t.Fatal("race hammer produced no completed spans")
+	}
+	for _, s := range spans {
+		if s.End < s.Start {
+			t.Fatalf("span %d (%s) ends (%d) before it starts (%d)", s.ID, s.Name, s.End, s.Start)
+		}
+	}
+}

@@ -291,12 +291,14 @@ const NoCore = -1
 // NoEID is the attribution identity for non-enclave (untrusted) execution.
 const NoEID uint64 = 0
 
-// sink is the enabled-observation state: per-enclave counter sets and the
-// optional event log. A Recorder points at one only while observation is on,
-// so the disabled fast path is a single atomic pointer load.
+// sink is the enabled-observation state: per-enclave counter sets, the
+// optional event log, and the span layer (stacks, completed-span ring,
+// profiler — see span.go). A Recorder points at one only while observation
+// is on, so the disabled fast path is a single atomic pointer load.
 type sink struct {
 	perEID sync.Map // uint64 EID -> *Counters
 	log    *EventLog
+	spans  spanState
 }
 
 func (s *sink) counters(eid uint64) *Counters {
@@ -317,8 +319,10 @@ func (s *sink) record(eid uint64, core int, e Event, cost int64, clock int64, de
 			EID:    eid,
 			Event:  e,
 			Detail: detail,
+			Span:   s.spans.spanTop(core),
 		})
 	}
+	s.spans.maybeSample(clock)
 }
 
 // Recorder bundles counters, a clock, latency histograms, and the optional
@@ -340,14 +344,20 @@ type Recorder struct {
 	billHint atomic.Uint64
 }
 
-// EnableObservation turns on per-enclave attribution, and — when logCapacity
-// is positive — the bounded ring-buffer event log. Charges made while
-// observation is off are counted globally but not attributed.
+// EnableObservation turns on per-enclave attribution, span tracing, and —
+// when logCapacity is positive — the bounded ring-buffer event log. Charges
+// made while observation is off are counted globally but not attributed. The
+// completed-span ring is sized like the event log (minimum 1024 spans).
 func (r *Recorder) EnableObservation(logCapacity int) {
 	s := &sink{}
 	if logCapacity > 0 {
 		s.log = NewEventLog(logCapacity)
 	}
+	spanCap := logCapacity
+	if spanCap < 1024 {
+		spanCap = 1024
+	}
+	s.spans.done = newSpanRing(spanCap)
 	r.sink.Store(s)
 }
 

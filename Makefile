@@ -1,20 +1,23 @@
 # Build and verification targets. tier1 is the gate the roadmap tracks;
 # tier2 adds vet, gofmt, the house static-analysis suite (nescheck, see
-# DESIGN.md "Static analysis"), and the race detector (the observability
+# DESIGN.md "Static analysis"), the race detector (the observability
 # layer's concurrent ring buffer and histograms are exercised under -race, as
-# is the cross-core eviction/shootdown test in internal/core); tier3 is the
-# differential model-checking pass: 5000 randomized schedules against the
-# reference oracle plus a short native-fuzz smoke over the op encoding,
-# access validator, and report codec, plus a chaos-soak smoke (fault
-# injection + self-healing supervision, see `make chaos`). See TESTING.md.
+# is the cross-core eviction/shootdown test in internal/core), and the
+# depth-6 exhaustive-exploration smoke; tier3 is the differential
+# model-checking pass: 5000 randomized schedules against the reference
+# oracle, the full depth-8 exhaustive enumeration (`make modelcheck`), a
+# short native-fuzz smoke over the op encoding, access validator, and report
+# codec, plus a chaos-soak smoke (fault injection + self-healing
+# supervision, see `make chaos`). See TESTING.md.
 
 GO ?= go
 SIMTEST_SCHEDULES ?= 5000
+MODELCHECK_DEPTH ?= 8
 FUZZTIME ?= 10s
 CHAOS_SEED ?= 0xC0FFEE
 CHAOS_OPS ?= 2000
 
-.PHONY: all build tier1 vet lint fmt-check race tier2 tier3 fuzz-smoke chaos chaos-smoke perf-gate baselines bench clean
+.PHONY: all build tier1 vet lint fmt-check race tier2 tier3 fuzz-smoke chaos chaos-smoke modelcheck modelcheck-smoke perf-gate baselines bench clean
 
 all: tier1
 
@@ -42,7 +45,7 @@ fmt-check:
 race:
 	$(GO) test -race ./...
 
-tier2: vet fmt-check lint perf-gate
+tier2: vet fmt-check lint perf-gate modelcheck-smoke
 	$(GO) test -race ./...
 
 # perf-gate re-runs the headline experiments (table2, sqlservice, mlservice)
@@ -61,8 +64,23 @@ baselines:
 tier3:
 	$(GO) vet ./...
 	SIMTEST_SCHEDULES=$(SIMTEST_SCHEDULES) $(GO) test ./internal/simtest -run TestLockstepSchedules -v -count=1
+	$(MAKE) modelcheck
 	$(MAKE) fuzz-smoke
 	$(MAKE) chaos-smoke
+
+# modelcheck exhaustively enumerates every schedule at the 2-core x 2-slot
+# scope up to MODELCHECK_DEPTH ops (default 8, ~3 minutes): each
+# interleaving is diffed against the oracle and audited against the §VII-A
+# invariants. Fails on any divergence (printing the ddmin-minimal schedule
+# in the regress_test.go replay format) or if pruning falls below 50% of the
+# branch candidates. See TESTING.md "Exhaustive model checking".
+modelcheck:
+	$(GO) run ./cmd/repro -exhaustive -mc-depth $(MODELCHECK_DEPTH)
+
+# modelcheck-smoke is the depth-6 slice of the same enumeration (~15s),
+# folded into tier2 alongside the explorer's own unit tests.
+modelcheck-smoke:
+	MODELCHECK_DEPTH=6 $(GO) test ./internal/simtest -run 'TestModelCheckSmoke$$' -count=1 -v
 
 fuzz-smoke:
 	$(GO) test ./internal/simtest -run '^$$' -fuzz '^FuzzScheduleOps$$' -fuzztime $(FUZZTIME)

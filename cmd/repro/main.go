@@ -9,6 +9,7 @@
 //	repro -http :6060          # expose expvar + pprof while running
 //	repro -chaos -seed 7       # fault-injection soak (see TESTING.md)
 //	repro -gate baselines      # perf regression gate against committed BENCH_*.json
+//	repro -exhaustive          # exhaustive small-scope model checking (see TESTING.md)
 //
 // Output is printed as aligned text tables; each carries a note with the
 // paper's reported numbers for comparison. With -json, every experiment
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"nestedenclave/internal/bench"
+	"nestedenclave/internal/simtest"
 	"nestedenclave/internal/trace"
 	"nestedenclave/internal/ycsb"
 )
@@ -271,6 +273,40 @@ func runChaos(seed uint64, ops int) error {
 	return nil
 }
 
+// runExhaustive is the -exhaustive mode: systematic enumeration of every
+// schedule at the small 2-core × 2-slot scope up to the depth horizon, each
+// interleaving diffed against the oracle and audited against the §VII-A
+// invariants (`make modelcheck` drives this at depth 8). Exit status 1 on a
+// counterexample — printed in the regress_test.go replay format — or when
+// the reduction machinery prunes less than minPrune of the branch
+// candidates (a sign the scope outgrew the reductions).
+func runExhaustive(depth, maxDepth int, multiOuter, por bool, minPrune float64) error {
+	fmt.Printf("--- exhaustive model check: 2 cores x 2 slots, depth %d, nesting %d, multiouter=%v, por=%v ---\n",
+		depth, maxDepth, multiOuter, por)
+	//nescheck:allow determinism progress reporting records host wall time, not simulated state
+	start := time.Now()
+	stats, ce := simtest.Explore(simtest.ExploreConfig{
+		Depth:      depth,
+		MaxDepth:   maxDepth,
+		MultiOuter: multiOuter,
+		DisablePOR: !por,
+	})
+	//nescheck:allow determinism progress reporting records host wall time, not simulated state
+	fmt.Printf("%s in %v\n", stats.StatsLine(), time.Since(start).Round(time.Millisecond))
+	if ce != nil {
+		fmt.Println(ce)
+		return fmt.Errorf("divergence at depth %d (replay the minimal schedule via regress_test.go)", depth)
+	}
+	if stats.Truncated {
+		return fmt.Errorf("exploration truncated before covering the scope")
+	}
+	if ratio := stats.PruneRatio(); ratio < minPrune {
+		return fmt.Errorf("pruning ratio %.2f below the %.2f floor", ratio, minPrune)
+	}
+	fmt.Printf("exhaustive pass clean: every interleaving at scope diffed and audited\n")
+	return nil
+}
+
 func main() {
 	full := flag.Bool("full", false, "run at the paper's scale (slow; fig10 needs several GB of RAM)")
 	only := flag.String("only", "", "comma-separated experiment names (default: all)")
@@ -282,8 +318,21 @@ func main() {
 	chaosOps := flag.Int("ops", 1000, "chaos soak: number of YCSB operations")
 	gateDir := flag.String("gate", "", "compare gated metrics against BENCH_*.json baselines in this directory (perf regression gate)")
 	gateTol := flag.Float64("gate-tol", bench.GateTolerance, "gate: relative regression tolerance")
+	exhaustive := flag.Bool("exhaustive", false, "run the exhaustive small-scope model check instead of the experiments")
+	mcDepth := flag.Int("mc-depth", 8, "exhaustive: schedule horizon (ops per interleaving)")
+	mcMaxDepth := flag.Int("mc-maxdepth", 2, "exhaustive: maximum enclave nesting depth")
+	mcMultiOuter := flag.Bool("mc-multiouter", false, "exhaustive: enable the multi-outer lattice extension")
+	mcPOR := flag.Bool("mc-por", true, "exhaustive: enable partial-order reduction")
+	mcMinPrune := flag.Float64("mc-min-prune", 0.5, "exhaustive: fail below this pruned fraction of branch candidates")
 	flag.Parse()
 
+	if *exhaustive {
+		if err := runExhaustive(*mcDepth, *mcMaxDepth, *mcMultiOuter, *mcPOR, *mcMinPrune); err != nil {
+			fmt.Fprintf(os.Stderr, "modelcheck: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *chaosMode {
 		if err := runChaos(*chaosSeed, *chaosOps); err != nil {
 			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)

@@ -127,3 +127,17 @@ func mustAbs(t *testing.T, p string) string {
 	}
 	return abs
 }
+
+// TestExplorerPackagesAreReplayCritical pins the determinism rule's
+// coverage of the exhaustive model checker: internal/simtest (the explorer
+// and its enumeration loop) and internal/model (the oracle whose canonical
+// fingerprints key the memoization) must stay in the replay-critical set, or
+// a global-RNG or map-order regression in the search could make CI
+// counterexamples unreproducible without any analyzer finding.
+func TestExplorerPackagesAreReplayCritical(t *testing.T) {
+	for _, pkg := range []string{"internal/simtest", "internal/model"} {
+		if !pathMatchesAny("nestedenclave/"+pkg, replayCriticalPkgs) {
+			t.Errorf("%s dropped from replayCriticalPkgs: the exhaustive explorer's determinism is no longer enforced", pkg)
+		}
+	}
+}

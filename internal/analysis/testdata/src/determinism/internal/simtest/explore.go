@@ -1,0 +1,53 @@
+// Fixture: internal/simtest hosts the exhaustive schedule explorer, whose
+// enumeration order must be replay-stable — a counterexample found in CI has
+// to reproduce locally from the same scope. Global RNG and order-dependent
+// map iteration in the search loop are findings; the seeded-generator and
+// collect-then-sort idioms the real package uses are clean.
+package simtest
+
+import (
+	"math/rand"
+	"sort"
+)
+
+type op struct{ kind, core uint8 }
+
+// pickOp is the violation the rule exists for: a search step whose choice no
+// seed controls. Two runs of the "same" exploration would walk different
+// trees.
+func pickOp(alphabet []op) op {
+	return alphabet[rand.Intn(len(alphabet))] // want "determinism/rand-global: rand.Intn"
+}
+
+// visitOrder leaks memoization-map iteration order into the visit sequence.
+func visitOrder(memo map[uint64]int) []uint64 {
+	var order []uint64
+	for fp := range memo { // want "determinism/map-order: .*append to a slice declared outside the loop"
+		order = append(order, fp)
+	}
+	return order
+}
+
+// sortedStates is the sanctioned spelling: collect, then sort. Clean.
+func sortedStates(memo map[uint64]int) []uint64 {
+	var out []uint64
+	for fp := range memo {
+		out = append(out, fp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// seededWalk derives every decision from a caller-provided source. Clean.
+func seededWalk(rng *rand.Rand, alphabet []op) op {
+	return alphabet[rng.Intn(len(alphabet))]
+}
+
+// countStates folds order-insensitive state only. Clean.
+func countStates(memo map[uint64]int) int {
+	n := 0
+	for range memo {
+		n++
+	}
+	return n
+}

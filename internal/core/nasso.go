@@ -69,10 +69,53 @@ func (e *Extension) NASSO(inner, outer *sgx.SECS) error {
 			}
 		}
 
+		// TLB-coherence quiescence: association changes the accessible-region
+		// lattice for every core currently executing the inner enclave or one
+		// of its transitive inners — a vaddr in the new outer's ELRANGE may
+		// already be cached in such a core's TLB as an ordinary unsecure
+		// mapping, which the association retroactively turns into an
+		// enclave-range mapping outside the EPC. Like SGX's layout-change
+		// instructions, NASSO requires the affected subtree to be quiescent.
+		// (Found by exhaustive schedule exploration; regress_test.go
+		// "nasso-while-inner-resident".)
+		for _, aff := range append(innerClosure(e.m, inner), inner) {
+			for _, c := range e.m.Cores() {
+				if cur := c.Current(); cur != nil && cur.EID == aff.EID {
+					return isa.GP("NASSO: core %d is executing enclave %d; inner subtree must be quiescent",
+						c.ID, aff.EID)
+				}
+			}
+		}
+
 		inner.Nested.OuterEIDs = append(inner.Nested.OuterEIDs, outer.EID)
 		outer.Nested.InnerEIDs = append(outer.Nested.InnerEIDs, inner.EID)
 		return nil
 	})
+}
+
+// innerClosure returns the transitive inner enclaves of s (not including s
+// itself). Machine lock held by caller.
+func innerClosure(m *sgx.Machine, s *sgx.SECS) []*sgx.SECS {
+	var out []*sgx.SECS
+	seen := map[isa.EID]bool{s.EID: true}
+	frontier := []*sgx.SECS{s}
+	for len(frontier) > 0 {
+		next := frontier[0]
+		frontier = frontier[1:]
+		for _, ie := range next.Nested.InnerEIDs {
+			if seen[ie] {
+				continue
+			}
+			seen[ie] = true
+			in, ok := m.ResolveEID(ie)
+			if !ok {
+				continue
+			}
+			out = append(out, in)
+			frontier = append(frontier, in)
+		}
+	}
+	return out
 }
 
 // innerHeight returns the height of the inner-enclave tree rooted at s

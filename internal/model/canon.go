@@ -1,0 +1,207 @@
+package model
+
+import (
+	"encoding/binary"
+	"fmt"
+	"slices"
+
+	"nestedenclave/internal/isa"
+	"strings"
+)
+
+// Canonical state serialization. The systematic explorer (internal/simtest)
+// memoizes visited states by a fingerprint of the oracle, so two schedules
+// reaching semantically identical states are explored once. "Semantically
+// identical" is defined here: every field a future verdict can depend on is
+// serialized, in a canonical order, and nothing else. Association lists are
+// sorted because the lattice is a set (Validate, NASSO, and the shootdown
+// closure all treat Outers/Inners as membership queries, never as sequences);
+// TCS lists keep their EAdd order because the harness addresses TCSs by
+// index.
+
+// AppendCanonical appends a canonical byte serialization of the oracle's
+// complete semantic state to b and returns the result. Two oracles have equal
+// serializations iff no operation sequence can distinguish them.
+func (o *Oracle) AppendCanonical(b []byte) []byte {
+	var w canonWriter
+	w.b = b
+	w.u64(uint64(o.cfg.Cores))
+	w.u64(o.cfg.PRMBase)
+	w.u64(o.cfg.PRMSize)
+	w.u64(uint64(o.cfg.MaxDepth))
+	w.bool(o.cfg.MultiOuter)
+	w.u64(uint64(o.nextEID))
+
+	pageIdxs := make([]int, 0, len(o.pages))
+	for idx := range o.pages {
+		pageIdxs = append(pageIdxs, idx)
+	}
+	slices.Sort(pageIdxs)
+	w.u64(uint64(len(pageIdxs)))
+	for _, idx := range pageIdxs {
+		p := o.pages[idx]
+		w.u64(uint64(idx))
+		w.bool(p.Valid)
+		w.bool(p.Blocked)
+		w.u64(uint64(p.Type))
+		w.u64(uint64(p.Owner))
+		w.u64(p.Vaddr)
+		w.u64(uint64(p.Perms))
+	}
+
+	eids := make([]int, 0, len(o.enclaves))
+	for eid := range o.enclaves {
+		eids = append(eids, int(eid))
+	}
+	slices.Sort(eids)
+	w.u64(uint64(len(eids)))
+	for _, eid := range eids {
+		e := o.enclaves[isa.EID(eid)]
+		w.u64(uint64(e.EID))
+		w.u64(e.Base)
+		w.u64(e.Size)
+		w.bool(e.Initialized)
+		w.eidSet(e.Outers)
+		w.eidSet(e.Inners)
+		w.u64(uint64(len(e.TCS)))
+		for _, t := range e.TCS {
+			w.bool(t.Busy)
+			w.frame(t.Ret)
+			w.frame(t.SSA)
+		}
+	}
+
+	for _, c := range o.cores {
+		w.bool(c.In)
+		if c.In {
+			w.u64(uint64(c.Cur.EID))
+			w.u64(uint64(c.Cur.TCS))
+		}
+		vpns := make([]uint64, 0, len(c.TLB))
+		for vpn := range c.TLB {
+			vpns = append(vpns, vpn)
+		}
+		slices.Sort(vpns)
+		w.u64(uint64(len(vpns)))
+		for _, vpn := range vpns {
+			e := c.TLB[vpn]
+			w.u64(vpn)
+			w.u64(e.PPN)
+			w.u64(uint64(e.Perms))
+		}
+	}
+	return w.b
+}
+
+// Fingerprint returns a 64-bit FNV-1a hash of the canonical serialization —
+// the memoization key for state-space exploration. Equal states always hash
+// equal; the explorer tolerates the (cryptographically negligible at small
+// scope) collision risk because every transition it takes is still fully
+// diffed and audited.
+func (o *Oracle) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range o.AppendCanonical(nil) {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// StateEqual reports whether two oracles are semantically indistinguishable.
+func StateEqual(a, b *Oracle) bool {
+	return slices.Equal(a.AppendCanonical(nil), b.AppendCanonical(nil))
+}
+
+// CanonicalString renders the canonical state human-readably, for diffing the
+// two sides of a failed commutativity claim.
+func (o *Oracle) CanonicalString() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "nextEID=%d\n", o.nextEID)
+	pageIdxs := make([]int, 0, len(o.pages))
+	for idx := range o.pages {
+		pageIdxs = append(pageIdxs, idx)
+	}
+	slices.Sort(pageIdxs)
+	for _, idx := range pageIdxs {
+		p := o.pages[idx]
+		fmt.Fprintf(&sb, "page %d: valid=%v blocked=%v type=%v owner=%d vaddr=%#x perms=%v\n",
+			idx, p.Valid, p.Blocked, p.Type, p.Owner, p.Vaddr, p.Perms)
+	}
+	eids := make([]int, 0, len(o.enclaves))
+	for eid := range o.enclaves {
+		eids = append(eids, int(eid))
+	}
+	slices.Sort(eids)
+	for _, eid := range eids {
+		e := o.enclaves[isa.EID(eid)]
+		outers := append([]int(nil), eidInts(e.Outers)...)
+		inners := append([]int(nil), eidInts(e.Inners)...)
+		slices.Sort(outers)
+		slices.Sort(inners)
+		fmt.Fprintf(&sb, "enclave %d: base=%#x size=%#x init=%v outers=%v inners=%v\n",
+			e.EID, e.Base, e.Size, e.Initialized, outers, inners)
+		for i, t := range e.TCS {
+			fmt.Fprintf(&sb, "  tcs %d: busy=%v ret=%s ssa=%s\n", i, t.Busy, frameString(t.Ret), frameString(t.SSA))
+		}
+	}
+	for i, c := range o.cores {
+		fmt.Fprintf(&sb, "core %d: in=%v cur=%s tlb=%s\n", i, c.In, frameString(&c.Cur), o.DumpTLB(i))
+	}
+	return sb.String()
+}
+
+func frameString(f *Frame) string {
+	if f == nil {
+		return "-"
+	}
+	return fmt.Sprintf("(eid=%d,tcs=%d)", f.EID, f.TCS)
+}
+
+func eidInts(eids []isa.EID) []int {
+	out := make([]int, len(eids))
+	for i, e := range eids {
+		out[i] = int(e)
+	}
+	return out
+}
+
+// canonWriter accumulates the length-prefixed little-endian encoding.
+type canonWriter struct {
+	b []byte
+}
+
+func (w *canonWriter) u64(v uint64) {
+	w.b = binary.LittleEndian.AppendUint64(w.b, v)
+}
+
+func (w *canonWriter) bool(v bool) {
+	if v {
+		w.b = append(w.b, 1)
+	} else {
+		w.b = append(w.b, 0)
+	}
+}
+
+func (w *canonWriter) frame(f *Frame) {
+	if f == nil {
+		w.bool(false)
+		return
+	}
+	w.bool(true)
+	w.u64(uint64(f.EID))
+	w.u64(uint64(f.TCS))
+}
+
+// eidSet serializes an association list as a set: sorted, length-prefixed.
+func (w *canonWriter) eidSet(eids []isa.EID) {
+	ints := eidInts(eids)
+	slices.Sort(ints)
+	w.u64(uint64(len(ints)))
+	for _, e := range ints {
+		w.u64(uint64(e))
+	}
+}

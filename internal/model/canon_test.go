@@ -1,0 +1,108 @@
+package model
+
+import (
+	"testing"
+
+	"nestedenclave/internal/isa"
+)
+
+func testConfig() Config {
+	return Config{Cores: 2, PRMBase: 2 << 20, PRMSize: 4 << 20, MaxDepth: 2}
+}
+
+// buildEnclave creates and initializes one enclave with a data page and a
+// TCS page, consuming three consecutive EPC page indices from firstPage.
+func buildEnclave(t *testing.T, o *Oracle, firstPage int, base uint64) isa.EID {
+	t.Helper()
+	eid, v := o.ECreate(firstPage, base, 0x5000)
+	if v != VOK {
+		t.Fatalf("ECreate(%#x): %v", base, v)
+	}
+	mustVOK(t, "EAdd data", o.EAdd(eid, firstPage+1, base, isa.PTReg, isa.PermRW))
+	mustVOK(t, "EAdd tcs", o.EAdd(eid, firstPage+2, base+isa.PageSize, isa.PTTCS, isa.PermRW))
+	mustVOK(t, "EInit", o.EInit(eid))
+	return eid
+}
+
+// TestFingerprintIgnoresAssociationOrder pins the canonicalization contract:
+// the lattice is a set (Validate, NASSO, and the shootdown closure only ask
+// membership questions), so two oracles whose association lists were built
+// in different orders must serialize identically.
+func TestFingerprintIgnoresAssociationOrder(t *testing.T) {
+	mk := func(swap bool) *Oracle {
+		o := New(Config{Cores: 2, PRMBase: 2 << 20, PRMSize: 4 << 20, MaxDepth: 3, MultiOuter: true})
+		outer1 := buildEnclave(t, o, 0, 0x1000_0000)
+		outer2 := buildEnclave(t, o, 3, 0x2000_0000)
+		inner := buildEnclave(t, o, 6, 0x3000_0000)
+		outers := []isa.EID{outer1, outer2}
+		if swap {
+			outers[0], outers[1] = outers[1], outers[0]
+		}
+		for _, out := range outers {
+			mustVOK(t, "NASSO", o.NASSO(inner, out))
+		}
+		return o
+	}
+	a, b := mk(false), mk(true)
+	if !StateEqual(a, b) {
+		t.Fatalf("association insertion order leaked into the canonical state:\n--- a ---\n%s\n--- b ---\n%s",
+			a.CanonicalString(), b.CanonicalString())
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("fingerprints differ for StateEqual oracles")
+	}
+}
+
+// TestFingerprintSeparatesStates: semantically different oracles must not
+// serialize equal — each mutation class moves the fingerprint.
+func TestFingerprintSeparatesStates(t *testing.T) {
+	base := func() (*Oracle, isa.EID, isa.EID) {
+		o := New(testConfig())
+		a := buildEnclave(t, o, 0, 0x1000_0000)
+		b := buildEnclave(t, o, 3, 0x2000_0000)
+		return o, a, b
+	}
+	o0, _, _ := base()
+	seen := map[uint64]string{o0.Fingerprint(): "base"}
+
+	mutations := []struct {
+		name string
+		mut  func(o *Oracle, a, b isa.EID)
+	}{
+		{"nasso", func(o *Oracle, a, b isa.EID) { mustVOK(t, "NASSO", o.NASSO(b, a)) }},
+		{"enter-core0", func(o *Oracle, a, b isa.EID) { mustVOK(t, "EEnter", o.EEnter(0, a, 0, false)) }},
+		{"enter-core1", func(o *Oracle, a, b isa.EID) { mustVOK(t, "EEnter", o.EEnter(1, a, 0, false)) }},
+		{"enter-other-enclave", func(o *Oracle, a, b isa.EID) { mustVOK(t, "EEnter", o.EEnter(0, b, 0, false)) }},
+	}
+	for _, m := range mutations {
+		o, a, b := base()
+		m.mut(o, a, b)
+		fp := o.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("mutation %q fingerprint collides with %q", m.name, prev)
+		}
+		seen[fp] = m.name
+	}
+}
+
+// TestAppendCanonicalStable: serializing twice yields identical bytes (no
+// map-iteration order leaking through).
+func TestAppendCanonicalStable(t *testing.T) {
+	o := New(testConfig())
+	a := buildEnclave(t, o, 0, 0x1000_0000)
+	b := buildEnclave(t, o, 3, 0x2000_0000)
+	mustVOK(t, "NASSO", o.NASSO(b, a))
+	first := o.AppendCanonical(nil)
+	for i := 0; i < 8; i++ {
+		if next := o.AppendCanonical(nil); string(first) != string(next) {
+			t.Fatalf("serialization unstable on round %d", i)
+		}
+	}
+}
+
+func mustVOK(t *testing.T, what string, v Verdict) {
+	t.Helper()
+	if v != VOK {
+		t.Fatalf("%s: verdict %v, want VOK", what, v)
+	}
+}

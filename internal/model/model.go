@@ -333,9 +333,43 @@ func (o *Oracle) NASSO(inner, outer isa.EID) Verdict {
 			return VGP // ELRANGE overlap
 		}
 	}
+	// Quiescence: no core may be executing the inner or any of its
+	// transitive inners — their accessible-region set would change under a
+	// TLB filled against the old lattice (see core/nasso.go).
+	for _, aff := range append(o.innerClosure(in), in) {
+		for _, c := range o.cores {
+			if c.In && c.Cur.EID == aff.EID {
+				return VGP
+			}
+		}
+	}
 	in.Outers = append(in.Outers, outer)
 	out.Inners = append(out.Inners, inner)
 	return VOK
+}
+
+// innerClosure returns the transitive inner enclaves of e (excluding e).
+func (o *Oracle) innerClosure(e *Enclave) []*Enclave {
+	var out []*Enclave
+	seen := map[isa.EID]bool{e.EID: true}
+	frontier := []*Enclave{e}
+	for len(frontier) > 0 {
+		next := frontier[0]
+		frontier = frontier[1:]
+		for _, ie := range next.Inners {
+			if seen[ie] {
+				continue
+			}
+			seen[ie] = true
+			io, ok := o.enclaves[ie]
+			if !ok {
+				continue
+			}
+			out = append(out, io)
+			frontier = append(frontier, io)
+		}
+	}
+	return out
 }
 
 // depthOf returns the nesting depth of e: 1 for a top-level enclave, the

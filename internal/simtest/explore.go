@@ -1,0 +1,371 @@
+package simtest
+
+// The systematic explorer: bounded exhaustive enumeration of schedules at
+// small scope, layered on the lockstep Runner so that every explored
+// interleaving gets the full Figure-6 verdict diff and §VII-A invariant
+// audit — the same checks the randomized harness applies, now over *all*
+// interleavings of a reduced op alphabet up to a depth horizon instead of a
+// 5000-schedule sample (the Guardian-style "orderliness at small scope"
+// argument; see TESTING.md "Exhaustive model checking").
+//
+// Three prunings keep the enumeration tractable:
+//
+//   - self-loop elision: an op that leaves the state fingerprint unchanged
+//     (the many #GP-rejected ops) contributes no new state, so its subtree
+//     is the current subtree and is not re-entered;
+//   - state-fingerprint memoization: a state already explored with at least
+//     as much remaining depth is not re-expanded (Runner.Fingerprint hashes
+//     everything a future verdict can depend on);
+//   - sleep-set partial-order reduction: when two adjacent ops are
+//     independent (see por.go), only one of the two orders is explored.
+//
+// Every pruning is an *equivalence* argument, not a coverage hole: each
+// claims the skipped interleaving reaches states the search visits anyway.
+// The POR claim is itself under test (TestPORCommutativity), and exploration
+// order is fixed — no RNG, no map iteration feeding the search — so a run is
+// replay-stable by construction (the nescheck determinism rule covers this
+// package).
+//
+// The search is depth-first in alphabet order. Divergence handling matches
+// the randomized harness: the failing prefix is ddmin-shrunk and rendered
+// via FormatRegression, so exhaustive counterexamples replay and promote
+// exactly like sampled ones.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ExploreConfig scopes one exhaustive enumeration.
+type ExploreConfig struct {
+	// Depth is the schedule horizon: every interleaving of up to Depth ops
+	// from the alphabet is covered (up to the equivalences above).
+	Depth int
+	// MaxDepth and MultiOuter mirror Schedule's nesting configuration.
+	MaxDepth   int
+	MultiOuter bool
+	// Alphabet is the reduced op set; nil selects DefaultAlphabet(2, 2) —
+	// the 2-core × 2-slot scope.
+	Alphabet []Op
+	// DisablePOR turns off sleep-set partial-order reduction (for measuring
+	// its effect; the covered state space is identical).
+	DisablePOR bool
+	// DisableMemo turns off state-fingerprint memoization.
+	DisableMemo bool
+	// MaxTransitions aborts a runaway exploration after this many executed
+	// transitions (0 = unlimited). The stats record the truncation.
+	MaxTransitions int
+	// NewRunner overrides runner construction — the hook fault-injection
+	// tests use to explore against a deliberately broken machine. nil means
+	// NewRunner(MaxDepth, MultiOuter).
+	NewRunner func() *Runner
+}
+
+// ExploreStats reports the shape of one exploration.
+type ExploreStats struct {
+	States      int // distinct states discovered (unique fingerprints)
+	Transitions int // ops executed on a runner (incl. self-loops and memo hits)
+	SelfLoops   int // transitions whose target state equals their source
+	MemoHits    int // transitions into an already-explored state (subtree skipped)
+	PORSkipped  int // branch slots pruned by the sleep set (never executed)
+	Truncated   bool
+	// VisitHash folds every expanded state's fingerprint in visit order —
+	// two runs of the same config must produce identical hashes (enumeration
+	// order is replay-stable; TestExplorerDeterministic pins this).
+	VisitHash uint64
+}
+
+// Candidates is the naive branch count the search faced: executed
+// transitions plus sleep-set prunes. PruneRatio relates the skipped work
+// (POR prunes + memoized subtrees + self-loops) to it.
+func (s *ExploreStats) Candidates() int {
+	return s.Transitions + s.PORSkipped
+}
+
+// PruneRatio is the fraction of candidate branches that did not lead to a
+// recursive expansion: sleep-set prunes (never executed), memoized revisits
+// and self-loops (executed once, subtree skipped).
+func (s *ExploreStats) PruneRatio() float64 {
+	if s.Candidates() == 0 {
+		return 0
+	}
+	return float64(s.PORSkipped+s.MemoHits+s.SelfLoops) / float64(s.Candidates())
+}
+
+// StatsLine renders the one-line report the modelcheck targets print.
+func (s *ExploreStats) StatsLine() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "explored %d states, %d transitions; pruned %d by POR, %d memoized, %d self-loops (%.1f%% of %d branch candidates)",
+		s.States, s.Transitions, s.PORSkipped, s.MemoHits, s.SelfLoops,
+		100*s.PruneRatio(), s.Candidates())
+	if s.Truncated {
+		b.WriteString(" [TRUNCATED]")
+	}
+	return b.String()
+}
+
+// Counterexample is a diverging interleaving found by the explorer, already
+// minimized to the shrunk schedule's replay format.
+type Counterexample struct {
+	// Full is the interleaving as discovered (the DFS path).
+	Full Schedule
+	// Shrunk is the ddmin-minimized schedule; it still diverges.
+	Shrunk Schedule
+	// Err is the divergence the full schedule produced.
+	Err error
+}
+
+func (c *Counterexample) String() string {
+	return fmt.Sprintf("divergence: %v\nminimal reproduction (promote to regress_test.go):\n%s",
+		c.Err, FormatRegression(c.Shrunk))
+}
+
+// DefaultAlphabet is the reduced op set for the cores × slots scope:
+// lifecycle and association, entries/exits/AEX/resume on each core, reads of
+// each slot's first data page and an unsecure page, a write, evictions (one
+// with the skipped-shootdown fault), one kernel remap attack and one unmap.
+// Lifecycle ops come first so depth-first search reaches deep (built,
+// associated, nested) states down its earliest branches.
+func DefaultAlphabet(cores, slots int) []Op {
+	var a []Op
+	for s := 0; s < slots; s++ {
+		a = append(a, Op{Kind: OpBuild, Slot: uint8(s)})
+	}
+	if slots >= 2 {
+		a = append(a, Op{Kind: OpAssociate, Slot: 1, A: 0}) // inner=slot1, outer=slot0
+		a = append(a, Op{Kind: OpAssociate, Slot: 0, A: 1}) // reverse: cycle/#GP probe
+	}
+	for c := 0; c < cores; c++ {
+		for s := 0; s < slots; s++ {
+			a = append(a, Op{Kind: OpEnter, Core: uint8(c), Slot: uint8(s)})
+		}
+	}
+	for c := 0; c < cores; c++ {
+		a = append(a, Op{Kind: OpExit, Core: uint8(c), A: 1}) // TCS-releasing exit
+	}
+	for c := 0; c < cores; c++ {
+		for s := 0; s < slots; s++ {
+			a = append(a, Op{Kind: OpNEnter, Core: uint8(c), Slot: uint8(s)})
+		}
+	}
+	for c := 0; c < cores; c++ {
+		a = append(a, Op{Kind: OpNExit, Core: uint8(c)})
+	}
+	for c := 0; c < cores; c++ {
+		a = append(a, Op{Kind: OpAEX, Core: uint8(c)})
+	}
+	for c := 0; c < cores; c++ {
+		for s := 0; s < slots; s++ {
+			a = append(a, Op{Kind: OpResume, Core: uint8(c), Slot: uint8(s)})
+		}
+	}
+	for c := 0; c < cores; c++ {
+		for s := 0; s < slots; s++ {
+			// Pool index 4*s is slot s's data page 0 (see NewRunner's pool).
+			a = append(a, Op{Kind: OpRead, Core: uint8(c), A: uint8(4 * s)})
+		}
+		a = append(a, Op{Kind: OpRead, Core: uint8(c), A: 16}) // unsecure page 0
+	}
+	for c := 0; c < cores; c++ {
+		a = append(a, Op{Kind: OpWrite, Core: uint8(c), A: 0}) // slot0 data0
+	}
+	for s := 0; s < slots; s++ {
+		a = append(a, Op{Kind: OpEvict, Slot: uint8(s)})
+	}
+	a = append(a, Op{Kind: OpEvict, Slot: 0, B: 0x80}) // skipped-shootdown fault
+	a = append(a, Op{Kind: OpRemap, A: 0, B: 3})       // slot0 data0 → spare DRAM frame
+	a = append(a, Op{Kind: OpUnmap, A: 0, B: 1})       // mark slot0 data0 not present
+	return a
+}
+
+type explorer struct {
+	cfg      ExploreConfig
+	alphabet []Op
+	// indepMask[i] has bit j set when alphabet[i] and alphabet[j] are
+	// independent per the footprint relation (por.go).
+	indepMask []uint64
+	// memo maps a state fingerprint to the (budget, sleep-set) pairs it has
+	// been expanded under. Sleep sets prune children, so a revisit may only
+	// be skipped when some earlier visit had at least the remaining budget
+	// AND a sleep set no larger than the current one — the classic soundness
+	// condition for combining sleep sets with state caching (a plain
+	// budget-keyed memo would let a first visit's pruned children go
+	// unexplored forever).
+	memo map[uint64][]memoEntry
+	// seen records every fingerprint encountered, so stats.States counts
+	// distinct states regardless of how often the search re-expands them.
+	seen  map[uint64]bool
+	stats ExploreStats
+	ce    *Counterexample
+}
+
+// note registers a discovered state fingerprint.
+func (e *explorer) note(fp uint64) {
+	if !e.seen[fp] {
+		e.seen[fp] = true
+		e.stats.States++
+	}
+}
+
+type memoEntry struct {
+	budget int
+	sleep  uint64
+}
+
+// covered reports whether a previous visit dominates (budget', sleep'):
+// explored with at least the budget and at most the sleep restrictions.
+func covered(entries []memoEntry, budget int, sleep uint64) bool {
+	for _, ent := range entries {
+		if ent.budget >= budget && ent.sleep&^sleep == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// record adds (budget, sleep) to the entry list, dropping entries the new
+// one dominates.
+func record(entries []memoEntry, budget int, sleep uint64) []memoEntry {
+	kept := entries[:0]
+	for _, ent := range entries {
+		if !(budget >= ent.budget && sleep&^ent.sleep == 0) {
+			kept = append(kept, ent)
+		}
+	}
+	return append(kept, memoEntry{budget: budget, sleep: sleep})
+}
+
+// Explore exhaustively enumerates the configured scope. It returns the
+// stats and, if any interleaving diverged, the (shrunk) counterexample; the
+// search stops at the first divergence.
+func Explore(cfg ExploreConfig) (*ExploreStats, *Counterexample) {
+	e := &explorer{cfg: cfg, alphabet: cfg.Alphabet,
+		memo: map[uint64][]memoEntry{}, seen: map[uint64]bool{}}
+	if e.alphabet == nil {
+		e.alphabet = DefaultAlphabet(2, 2)
+	}
+	if len(e.alphabet) > 64 {
+		// Sleep sets are uint64 bitmasks; the reduced alphabets this scope
+		// targets are far smaller.
+		panic(fmt.Sprintf("simtest.Explore: alphabet of %d ops exceeds the 64-op limit", len(e.alphabet)))
+	}
+	// The pool layout is static (NewRunner always builds the same pool), so
+	// footprints can be computed from a throwaway runner's copy.
+	indep := independenceMatrix(e.alphabet, e.newRunner().pool)
+	e.indepMask = make([]uint64, len(e.alphabet))
+	for i := range indep {
+		for j, ok := range indep[i] {
+			if ok {
+				e.indepMask[i] |= 1 << j
+			}
+		}
+	}
+	root := e.newRunner()
+	fp := root.Fingerprint()
+	e.memo[fp] = record(nil, cfg.Depth, 0)
+	e.dfs(nil, root, fp, cfg.Depth, 0)
+	return &e.stats, e.ce
+}
+
+func (e *explorer) newRunner() *Runner {
+	if e.cfg.NewRunner != nil {
+		return e.cfg.NewRunner()
+	}
+	return NewRunner(e.cfg.MaxDepth, e.cfg.MultiOuter)
+}
+
+// runnerAt replays a prefix on a fresh runner. The prefix has executed
+// cleanly before and replay is deterministic, so an error here is itself a
+// reportable divergence (a replay-instability bug).
+func (e *explorer) runnerAt(prefix []Op) *Runner {
+	r := e.newRunner()
+	if _, err := r.RunOps(prefix); err != nil {
+		e.fail(prefix, fmt.Errorf("prefix replay unstable: %w", err))
+		return nil
+	}
+	return r
+}
+
+// fail records the first counterexample and stops the search.
+func (e *explorer) fail(ops []Op, err error) {
+	if e.ce != nil {
+		return
+	}
+	full := Schedule{Seed: -1, MaxDepth: e.cfg.MaxDepth, MultiOuter: e.cfg.MultiOuter,
+		Ops: append([]Op(nil), ops...)}
+	diverges := func(s Schedule) bool {
+		r := e.newRunner()
+		_, rerr := r.RunOps(s.Ops)
+		return rerr != nil
+	}
+	shrunk := full
+	if diverges(full) { // always true; guards the Shrink precondition
+		shrunk = Shrink(full, diverges)
+	}
+	e.ce = &Counterexample{Full: full, Shrunk: shrunk, Err: err}
+}
+
+// dfs expands the state reached by prefix. r is a live runner at that state;
+// the callee may consume it. Bit i of sleep marks an alphabet op whose
+// exploration here is covered by a commuted interleaving elsewhere
+// (sleep-set POR).
+func (e *explorer) dfs(prefix []Op, r *Runner, fp uint64, budget int, sleep uint64) {
+	e.note(fp)
+	e.stats.VisitHash = e.stats.VisitHash*1099511628211 ^ fp
+	if budget == 0 || e.ce != nil {
+		return
+	}
+	cur := r       // a runner currently at the prefix state
+	dirty := false // cur has advanced past the prefix state
+	var taken uint64
+	for i, op := range e.alphabet {
+		if e.ce != nil || e.stats.Truncated {
+			return
+		}
+		if sleep&(1<<i) != 0 {
+			e.stats.PORSkipped++
+			continue
+		}
+		if e.cfg.MaxTransitions > 0 && e.stats.Transitions >= e.cfg.MaxTransitions {
+			e.stats.Truncated = true
+			return
+		}
+		if dirty {
+			if cur = e.runnerAt(prefix); cur == nil {
+				return
+			}
+			dirty = false
+		}
+		e.stats.Transitions++
+		if err := cur.Step(op); err != nil {
+			e.fail(append(append([]Op(nil), prefix...), op), err)
+			return
+		}
+		childFp := cur.Fingerprint()
+		if childFp == fp {
+			// The op rejected (#GP) or was a semantic no-op: the subtree from
+			// here is the current subtree. cur still represents the prefix
+			// state (only non-semantic counters moved), so no restore needed.
+			e.stats.SelfLoops++
+			taken |= 1 << i
+			continue
+		}
+		dirty = true
+		// Ops already taken at this node — and ops this node inherited in
+		// its own sleep set — need not be re-explored after op i if they
+		// commute with it: the other order reaches the same state.
+		var childSleep uint64
+		if !e.cfg.DisablePOR {
+			childSleep = (sleep | taken) & e.indepMask[i]
+		}
+		taken |= 1 << i
+		if !e.cfg.DisableMemo {
+			if covered(e.memo[childFp], budget-1, childSleep) {
+				e.stats.MemoHits++
+				continue
+			}
+			e.memo[childFp] = record(e.memo[childFp], budget-1, childSleep)
+		}
+		e.dfs(append(prefix, op), cur, childFp, budget-1, childSleep)
+	}
+}

@@ -1,0 +1,132 @@
+package simtest
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// smokeDepth reads MODELCHECK_DEPTH, the horizon of the exhaustive smoke
+// below. Default 4 keeps the ordinary `go test` run fast (~1s); the tier-2
+// modelcheck-smoke target sets 6, and `make modelcheck` drives the full
+// depth-8 scope through cmd/repro instead.
+func smokeDepth() int {
+	if s := os.Getenv("MODELCHECK_DEPTH"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 4
+}
+
+// TestModelCheckSmoke exhaustively enumerates the 2-core × 2-slot scope to
+// the MODELCHECK_DEPTH horizon: every interleaving gets the full lockstep
+// verdict diff and invariant audit, so a pass is an exhaustiveness claim at
+// scope, not a sample.
+func TestModelCheckSmoke(t *testing.T) {
+	depth := smokeDepth()
+	if testing.Short() {
+		depth = 3
+	}
+	stats, ce := Explore(ExploreConfig{Depth: depth, MaxDepth: 2})
+	if ce != nil {
+		t.Fatalf("exhaustive pass at depth %d found a divergence:\n%s", depth, ce)
+	}
+	t.Logf("depth %d: %s", depth, stats.StatsLine())
+	if stats.Truncated {
+		t.Fatalf("smoke run truncated — raise MaxTransitions or lower depth")
+	}
+	if ratio := stats.PruneRatio(); ratio < 0.5 {
+		t.Errorf("pruning ratio %.2f below the 0.5 floor the scope is sized for", ratio)
+	}
+	if stats.MemoHits == 0 || stats.PORSkipped == 0 || stats.SelfLoops == 0 {
+		t.Errorf("a pruning layer did nothing: %s", stats.StatsLine())
+	}
+}
+
+// TestExplorerDeterministic runs the same scope twice and requires identical
+// stats and visit order. The explorer must be replay-stable — no RNG, no map
+// iteration feeding the search — or a counterexample found in CI could not
+// be reproduced locally (nescheck enforces the no-global-RNG side statically;
+// this pins the end-to-end behavior).
+func TestExplorerDeterministic(t *testing.T) {
+	cfg := ExploreConfig{Depth: 4, MaxDepth: 2}
+	a, ceA := Explore(cfg)
+	b, ceB := Explore(cfg)
+	if (ceA == nil) != (ceB == nil) {
+		t.Fatalf("runs disagree on divergence: %v vs %v", ceA, ceB)
+	}
+	if *a != *b {
+		t.Fatalf("two runs of one scope produced different explorations:\n  %s\n  %s",
+			a.StatsLine(), b.StatsLine())
+	}
+	if a.VisitHash != b.VisitHash {
+		t.Fatalf("visit hashes differ: %#x vs %#x", a.VisitHash, b.VisitHash)
+	}
+}
+
+// TestPORPreservesCoverage is the soundness check for the reduction
+// machinery: with partial-order reduction on, the explorer must discover
+// exactly as many distinct states as without it at the same horizon, while
+// executing strictly fewer transitions. Sleep sets only prune interleavings
+// whose commuted equivalent (same length, so same horizon) is explored, and
+// the sleep-aware memoization preserves that argument under state caching —
+// a plain budget-keyed memo would leak coverage here, and this test is what
+// catches both that and any false independence claim in por.go that
+// manifests at this depth.
+func TestPORPreservesCoverage(t *testing.T) {
+	depth := 4
+	if testing.Short() {
+		depth = 3
+	}
+	with, ceW := Explore(ExploreConfig{Depth: depth, MaxDepth: 2})
+	without, ceO := Explore(ExploreConfig{Depth: depth, MaxDepth: 2, DisablePOR: true})
+	if ceW != nil || ceO != nil {
+		t.Fatalf("unexpected divergence: with=%v without=%v", ceW, ceO)
+	}
+	if with.States != without.States {
+		t.Fatalf("POR changed coverage at depth %d: %d states with, %d without",
+			depth, with.States, without.States)
+	}
+	if with.PORSkipped == 0 {
+		t.Fatalf("POR pruned nothing at depth %d", depth)
+	}
+	if with.Transitions >= without.Transitions {
+		t.Errorf("POR saved no work: %d transitions with, %d without",
+			with.Transitions, without.Transitions)
+	}
+	t.Logf("depth %d: POR kept %d/%d states while cutting transitions %d -> %d",
+		depth, with.States, without.States, without.Transitions, with.Transitions)
+}
+
+// TestMemoizationSound mirrors the POR check for the memo layer alone.
+func TestMemoizationSound(t *testing.T) {
+	depth := 3
+	with, ceW := Explore(ExploreConfig{Depth: depth, MaxDepth: 2, DisablePOR: true})
+	without, ceO := Explore(ExploreConfig{Depth: depth, MaxDepth: 2, DisablePOR: true, DisableMemo: true})
+	if ceW != nil || ceO != nil {
+		t.Fatalf("unexpected divergence: with=%v without=%v", ceW, ceO)
+	}
+	if with.States != without.States {
+		t.Fatalf("memoization changed coverage at depth %d: %d states with, %d without",
+			depth, with.States, without.States)
+	}
+	if with.Transitions >= without.Transitions {
+		t.Errorf("memoization saved no work: %d vs %d transitions",
+			with.Transitions, without.Transitions)
+	}
+}
+
+// TestExploreTruncation pins the MaxTransitions escape hatch.
+func TestExploreTruncation(t *testing.T) {
+	stats, ce := Explore(ExploreConfig{Depth: 6, MaxDepth: 2, MaxTransitions: 200})
+	if ce != nil {
+		t.Fatalf("unexpected divergence: %v", ce)
+	}
+	if !stats.Truncated {
+		t.Fatalf("exploration was not truncated: %s", stats.StatsLine())
+	}
+	if stats.Transitions > 200 {
+		t.Fatalf("transition cap overshot: %d > 200", stats.Transitions)
+	}
+}

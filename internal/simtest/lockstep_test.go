@@ -13,8 +13,14 @@ var (
 	flagOpsPer = flag.Int("opsper", 64, "ops per generated schedule")
 )
 
-// defaultSchedules reads SIMTEST_SCHEDULES (the knob make tier3 turns up to
-// 5000) and falls back to a count small enough for the ordinary test run.
+// defaultSchedules reads SIMTEST_SCHEDULES, one of the two env knobs the
+// Makefile tiers use to scale this package's coverage: SIMTEST_SCHEDULES
+// sets the randomized lockstep schedule count (300 here by default; tier 3
+// turns it up to 5000), and MODELCHECK_DEPTH sets the horizon of the
+// exhaustive explorer's smoke in explore_test.go (depth 4 by default; the
+// tier-2 modelcheck-smoke runs depth 6, `make modelcheck` depth 8). The two
+// are complementary: random schedules are long (64 ops) but sparse,
+// exhaustive schedules are short but cover every interleaving at scope.
 func defaultSchedules() int {
 	if s := os.Getenv("SIMTEST_SCHEDULES"); s != "" {
 		if n, err := strconv.Atoi(s); err == nil && n > 0 {

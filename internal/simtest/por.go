@@ -1,0 +1,197 @@
+package simtest
+
+import (
+	"fmt"
+
+	"nestedenclave/internal/isa"
+)
+
+// Partial-order reduction: a static independence relation over concrete ops.
+//
+// Two ops are independent when, from any reachable state, executing them in
+// either order yields the same state and the same pair of verdicts — in which
+// case the explorer only needs one of the two interleavings. Independence is
+// approximated by resource footprints: each op declares the logical resources
+// it reads and writes, and two ops are independent iff neither writes a
+// resource the other touches. The approximation is deliberately conservative
+// (a false "dependent" only costs exploration time; a false "independent"
+// could hide a bug), and TestPORCommutativity validates every claimed-
+// independent pair empirically: both orders from sampled reachable states
+// must produce fingerprint-equal states.
+//
+// Resource vocabulary:
+//
+//	core:N    core N's protection context (mode, current frame)
+//	tlb:N     core N's TLB as a whole (fills read-touch it, flushes write it)
+//	tcs:S     slot S's TCS occupancy/SSA state
+//	slot:S    slot S's built/initialized identity
+//	lattice   the NASSO association graph
+//	epc       the EPC allocator and EID counter (allocation order)
+//	page:V    the page at virtual base V: its PTE, EPCM entry, and residency
+type footprint struct {
+	reads  map[string]bool
+	writes map[string]bool
+}
+
+func newFootprint() footprint {
+	return footprint{reads: map[string]bool{}, writes: map[string]bool{}}
+}
+
+func (f footprint) r(tokens ...string) footprint {
+	for _, t := range tokens {
+		f.reads[t] = true
+	}
+	return f
+}
+
+func (f footprint) w(tokens ...string) footprint {
+	for _, t := range tokens {
+		f.writes[t] = true
+	}
+	return f
+}
+
+func coreTok(c int) string { return fmt.Sprintf("core:%d", c) }
+func tlbTok(c int) string  { return fmt.Sprintf("tlb:%d", c) }
+func tcsTok(s int) string  { return fmt.Sprintf("tcs:%d", s) }
+func slotTok(s int) string { return fmt.Sprintf("slot:%d", s) }
+func pageTok(v uint64) string {
+	return fmt.Sprintf("page:%#x", v)
+}
+
+// allCoreToks / allTCSToks are the conservative wildcards for ops whose
+// target depends on runtime state (an exit writes the TCS of whatever enclave
+// the core currently runs; an eviction may shoot down any core).
+func allTLBToks() []string {
+	out := make([]string, machineCores)
+	for c := 0; c < machineCores; c++ {
+		out[c] = tlbTok(c)
+	}
+	return out
+}
+
+func allCoreToks() []string {
+	out := make([]string, machineCores)
+	for c := 0; c < machineCores; c++ {
+		out[c] = coreTok(c)
+	}
+	return out
+}
+
+func allTCSToks() []string {
+	out := make([]string, NumSlots)
+	for s := 0; s < NumSlots; s++ {
+		out[s] = tcsTok(s)
+	}
+	return out
+}
+
+// slotPageToks returns the page tokens of every page buildSlot maps for a
+// slot (data pages and TCS pages).
+func slotPageToks(slot int) []string {
+	var out []string
+	for j := 0; j < dataPages; j++ {
+		out = append(out, pageTok(uint64(dataVaddr(slot, j).PageBase())))
+	}
+	for k := 0; k < numTCS; k++ {
+		out = append(out, pageTok(uint64(tcsVaddr(slot, k).PageBase())))
+	}
+	return out
+}
+
+// opFootprint computes the resource footprint of one concrete op, applying
+// the same modular reductions the runner applies at execution time.
+func opFootprint(op Op, pool []isa.VAddr) footprint {
+	f := newFootprint()
+	kind := op.Kind % numOpKinds
+	c := int(op.Core) % machineCores
+	s := int(op.Slot) % NumSlots
+
+	switch kind {
+	case OpBuild:
+		f = f.w("epc", slotTok(s)).w(slotPageToks(s)...)
+	case OpAssociate:
+		outer := int(op.A) % NumSlots
+		// NASSO's quiescence rule rejects association while any core runs
+		// the inner subtree, so the verdict reads every core's context.
+		f = f.w("lattice").r(slotTok(s), slotTok(outer)).r(allCoreToks()...)
+	case OpEnter:
+		f = f.w(coreTok(c), tlbTok(c), tcsTok(s)).r(slotTok(s))
+	case OpExit:
+		// The released TCS belongs to whatever enclave core c currently
+		// runs — statically unknown, so every TCS is (conservatively) written.
+		f = f.w(coreTok(c), tlbTok(c)).w(allTCSToks()...)
+	case OpNEnter:
+		f = f.w(coreTok(c), tlbTok(c), tcsTok(s)).r(slotTok(s), "lattice")
+	case OpNExit:
+		f = f.w(coreTok(c), tlbTok(c)).w(allTCSToks()...)
+	case OpAEX:
+		f = f.w(coreTok(c), tlbTok(c)).w(allTCSToks()...)
+	case OpResume:
+		f = f.w(coreTok(c), tlbTok(c), tcsTok(s)).r(slotTok(s))
+	case OpRead, OpWrite, OpFetch:
+		// Verdict depends on the core's context, the outer-closure walk, and
+		// the target page's PTE/EPCM state; on success the core's TLB gains
+		// an entry (a read-touch of the TLB group: fills on the same core
+		// commute with each other, flushes do not commute with fills).
+		v := accessPoolVaddr(pool, op)
+		f = f.r(coreTok(c), "lattice", pageTok(v), tlbTok(c))
+	case OpRemap:
+		v := uint64(pool[int(op.A)%len(pool)].PageBase())
+		// The installed frame (op.B) indexes a state-dependent frame pool;
+		// the PTE write itself is the only effect either order can observe.
+		f = f.w(pageTok(v))
+		f = f.r("epc") // frame pool contents depend on EPC allocation state
+	case OpUnmap:
+		v := uint64(pool[int(op.A)%len(pool)].PageBase())
+		f = f.w(pageTok(v))
+	case OpEvict:
+		// Eviction blocks/frees the target page, allocates/frees EPC, walks
+		// the lattice for the shootdown set, reads every core's context, and
+		// flushes the shot-down TLBs.
+		target := uint64(dataVaddr(s, int(op.A)%dataPages).PageBase())
+		f = f.w("epc", pageTok(target)).w(allTLBToks()...)
+		f = f.r("lattice", slotTok(s)).r(allCoreToks()...)
+	}
+	return f
+}
+
+// accessPoolVaddr mirrors Runner.accessAddr's page selection (the offset
+// within the page does not change the footprint).
+func accessPoolVaddr(pool []isa.VAddr, op Op) uint64 {
+	return uint64(pool[int(op.A)%len(pool)].PageBase())
+}
+
+// dependent reports whether two footprints conflict: some resource is
+// written by one and touched by the other.
+func dependent(a, b footprint) bool {
+	for t := range a.writes {
+		if b.reads[t] || b.writes[t] {
+			return true
+		}
+	}
+	for t := range b.writes {
+		if a.reads[t] {
+			return true
+		}
+	}
+	return false
+}
+
+// independenceMatrix precomputes pairwise independence for an alphabet.
+// indep[i][j] == true means alphabet[i] and alphabet[j] commute from every
+// state (per the footprint approximation).
+func independenceMatrix(alphabet []Op, pool []isa.VAddr) [][]bool {
+	fps := make([]footprint, len(alphabet))
+	for i, op := range alphabet {
+		fps[i] = opFootprint(op, pool)
+	}
+	indep := make([][]bool, len(alphabet))
+	for i := range alphabet {
+		indep[i] = make([]bool, len(alphabet))
+		for j := range alphabet {
+			indep[i][j] = !dependent(fps[i], fps[j])
+		}
+	}
+	return indep
+}

@@ -1,0 +1,133 @@
+package simtest
+
+import "testing"
+
+// TestPORCommutativity validates the independence relation the explorer
+// prunes with. The footprint approximation in por.go claims some op pairs
+// commute from *every* reachable state; a single false claim would let the
+// explorer silently skip real interleavings. For every pair the matrix marks
+// independent, this executes both orders from a spread of sampled reachable
+// states (random-schedule prefixes of several lengths) and requires the two
+// resulting states to be fingerprint-equal.
+//
+// The sampled prefixes come from the weighted generator over the full
+// 4-core × 4-slot space, so the pairs are exercised from states richer than
+// the explorer's own 2×2 scope reaches.
+func TestPORCommutativity(t *testing.T) {
+	alphabet := DefaultAlphabet(2, 2)
+	pool := NewRunner(2, false).pool
+	indep := independenceMatrix(alphabet, pool)
+
+	prefixes := samplePrefixes(t)
+	pairs, checked := 0, 0
+	for i := range alphabet {
+		for j := i + 1; j < len(alphabet); j++ {
+			if !indep[i][j] {
+				continue
+			}
+			pairs++
+			for _, prefix := range prefixes {
+				checked++
+				assertCommutes(t, prefix, alphabet[i], alphabet[j])
+				if t.Failed() {
+					return
+				}
+			}
+		}
+	}
+	if pairs == 0 {
+		t.Fatalf("independence matrix claims no independent pairs — POR is inert")
+	}
+	t.Logf("%d independent pairs x %d states: both orders agree (%d checks)",
+		pairs, len(prefixes), checked)
+}
+
+// samplePrefixes returns op sequences whose end states seed the
+// commutativity checks: the empty state plus random-schedule prefixes of
+// increasing length.
+func samplePrefixes(t *testing.T) [][]Op {
+	t.Helper()
+	shapes := []struct {
+		seed int64
+		n    int
+	}{{11, 4}, {12, 8}, {13, 12}, {14, 16}, {15, 24}}
+	if testing.Short() {
+		shapes = shapes[:2]
+	}
+	prefixes := [][]Op{nil}
+	for _, s := range shapes {
+		sched := Generate(s.seed, s.n)
+		prefixes = append(prefixes, sched.Ops)
+	}
+	return prefixes
+}
+
+// assertCommutes runs prefix+[a,b] and prefix+[b,a] on fresh runners and
+// compares the end-state fingerprints.
+func assertCommutes(t *testing.T, prefix []Op, a, b Op) {
+	t.Helper()
+	fpAB, oracleAB := runSequence(t, prefix, a, b)
+	fpBA, oracleBA := runSequence(t, prefix, b, a)
+	if fpAB != fpBA {
+		t.Errorf("claimed-independent ops do not commute after %d-op prefix:\n  a=%+v\n  b=%+v\noracle after a,b:\n%s\noracle after b,a:\n%s",
+			len(prefix), a, b, oracleAB, oracleBA)
+	}
+}
+
+func runSequence(t *testing.T, prefix []Op, ops ...Op) (uint64, string) {
+	t.Helper()
+	r := NewRunner(2, false)
+	if _, err := r.RunOps(prefix); err != nil {
+		t.Fatalf("prefix diverged (machine bug, not a POR failure): %v", err)
+	}
+	for _, op := range ops {
+		if err := r.Step(op); err != nil {
+			t.Fatalf("op %+v diverged (machine bug, not a POR failure): %v", op, err)
+		}
+	}
+	return r.Fingerprint(), r.o.CanonicalString()
+}
+
+// TestPORMatrixSanity pins structural facts about the relation: it is
+// symmetric and irreflexive-safe (an op is always dependent with itself —
+// same footprint, and every alphabet op writes something or reads what it
+// would re-read; two copies of one op never need reordering anyway), and
+// known-conflicting pairs stay dependent.
+func TestPORMatrixSanity(t *testing.T) {
+	alphabet := DefaultAlphabet(2, 2)
+	pool := NewRunner(2, false).pool
+	indep := independenceMatrix(alphabet, pool)
+	for i := range alphabet {
+		for j := range alphabet {
+			if indep[i][j] != indep[j][i] {
+				t.Fatalf("independence not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	find := func(k OpKind, core, slot, a uint8) int {
+		for i, op := range alphabet {
+			if op.Kind == k && op.Core == core && op.Slot == slot && op.A == a {
+				return i
+			}
+		}
+		t.Fatalf("alphabet misses op kind %d core %d slot %d a %d", k, core, slot, a)
+		return -1
+	}
+	mustDepend := [][2]int{
+		{find(OpBuild, 0, 0, 0), find(OpBuild, 0, 1, 0)},     // both allocate EPC
+		{find(OpEnter, 0, 0, 0), find(OpExit, 0, 0, 1)},      // same core
+		{find(OpAssociate, 0, 1, 0), find(OpEnter, 1, 1, 0)}, // quiescence reads core contexts
+		{find(OpRemap, 0, 0, 0), find(OpRead, 0, 0, 0)},      // same page
+		{find(OpEvict, 0, 0, 0), find(OpRead, 1, 0, 0)},      // shootdown vs fill
+	}
+	for _, p := range mustDepend {
+		if indep[p[0]][p[1]] {
+			t.Errorf("ops %+v and %+v claimed independent but conflict",
+				alphabet[p[0]], alphabet[p[1]])
+		}
+	}
+	cross := [2]int{find(OpEnter, 0, 0, 0), find(OpEnter, 1, 1, 0)}
+	if !indep[cross[0]][cross[1]] {
+		t.Errorf("enters on distinct cores/slots should be independent")
+	}
+}

@@ -9,6 +9,26 @@ import "testing"
 // directed schedules covering the deep paths random search found worth
 // shrinking to during development.
 var regressions = []Schedule{
+	// nasso-while-inner-resident: found by the exhaustive explorer (depth 6,
+	// 2x2 scope) — the first counterexample the systematic pass produced
+	// against the tree. A core enters an enclave, a kernel remap attack
+	// aliases another slot's data vaddr to plain DRAM, the core caches that
+	// vaddr as an ordinary unsecure mapping, and only THEN does NASSO make
+	// that slot the core's outer — retroactively turning the cached entry
+	// into an ELRANGE mapping outside the EPC (invariant 3/4 violation).
+	// Fixed by NASSO's quiescence rule: association now #GPs while any core
+	// is executing the inner subtree, on both machine and oracle.
+	{
+		Seed: -1, MaxDepth: 2, MultiOuter: false,
+		Ops: []Op{
+			{Kind: OpBuild, Slot: 0},
+			{Kind: OpBuild, Slot: 1},
+			{Kind: OpEnter, Core: 1, Slot: 1},
+			{Kind: OpRemap, A: 0, B: 3},        // slot0 data0 -> spare DRAM frame
+			{Kind: OpRead, Core: 1, A: 0},      // caches the unsecure alias
+			{Kind: OpAssociate, Slot: 1, A: 0}, // must #GP: inner is resident
+		},
+	},
 	// Minimal nested read: outer+inner built and associated, NEENTER, then an
 	// inner access to an outer data page (Figure-6 path B, steps ③④⑤).
 	{

@@ -3,6 +3,8 @@ package simtest
 import (
 	"bytes"
 	"fmt"
+	"slices"
+	"sync"
 
 	"nestedenclave/internal/cache"
 	"nestedenclave/internal/core"
@@ -82,6 +84,35 @@ type slotState struct {
 	eid  isa.EID // 0 while unbuilt; mirrors the oracle's EID by construction
 }
 
+// slotCerts is the signing identity and per-slot certificates every runner
+// shares. The topology (and therefore every slot's measurement) is static, so
+// one author signing each slot once serves all runners. Sharing matters for
+// the systematic explorer, which forks a fresh runner per DFS branch: four
+// ed25519 signatures per fork would dominate its runtime.
+type slotCerts struct {
+	author  *measure.Author
+	digests [NumSlots]measure.Digest
+	certs   [NumSlots]*measure.SigStruct
+}
+
+var sharedCerts = sync.OnceValue(func() *slotCerts {
+	cs := &slotCerts{author: measure.MustNewAuthor()}
+	all := make([]measure.Digest, 0, NumSlots)
+	for slot := 0; slot < NumSlots; slot++ {
+		cs.digests[slot] = slotDigest()
+		all = append(all, cs.digests[slot])
+	}
+	// Every slot's certificate names every slot's measurement as both an
+	// allowed inner and an allowed outer, so NASSO outcomes in schedules
+	// depend only on the structural rules (cycles, depth, overlap) the oracle
+	// models — never on the certificate path, which internal/core's own tests
+	// cover.
+	for slot := 0; slot < NumSlots; slot++ {
+		cs.certs[slot] = cs.author.Sign(cs.digests[slot], all, all)
+	}
+	return cs
+})
+
 // Runner drives one machine and one oracle in lockstep. Single-goroutine.
 type Runner struct {
 	m   *sgx.Machine
@@ -133,20 +164,10 @@ func NewRunner(maxDepth int, multiOuter bool) *Runner {
 	}
 	r.pool = append(r.pool, unmappedV, remapOnlyV)
 
-	// Sign the slots' certificates up front. Every slot's certificate names
-	// every slot's measurement as both an allowed inner and an allowed outer,
-	// so NASSO outcomes in schedules depend only on the structural rules
-	// (cycles, depth, overlap) the oracle models — never on the certificate
-	// path, which internal/core's own tests cover.
-	r.author = measure.MustNewAuthor()
-	all := make([]measure.Digest, 0, NumSlots)
-	for slot := 0; slot < NumSlots; slot++ {
-		r.digests[slot] = slotDigest()
-		all = append(all, r.digests[slot])
-	}
-	for slot := 0; slot < NumSlots; slot++ {
-		r.certs[slot] = r.author.Sign(r.digests[slot], all, all)
-	}
+	cs := sharedCerts()
+	r.author = cs.author
+	r.digests = cs.digests
+	r.certs = cs.certs
 	return r
 }
 
@@ -705,4 +726,59 @@ func regionOwner(m *sgx.Machine, cur *sgx.SECS, vpn uint64) *sgx.SECS {
 func Diverges(s Schedule) bool {
 	_, err := NewRunner(s.MaxDepth, s.MultiOuter).Run(s)
 	return err != nil
+}
+
+// Fingerprint hashes every piece of state a future op's verdict can depend
+// on: the oracle's canonical serialization (EPCM, lattice, TCS occupancy,
+// per-core context, TLBs — the machine's observables are diffed against it
+// every step, so it stands in for both sides), plus the runner's own
+// semantic inputs — the shared page table, the set of evicted pages, and the
+// slot→EID bindings. Deliberately excluded: the step counter and page
+// contents (write payloads never influence a verdict; the harness never
+// writes 0xFF, so abort-page detection is content-stable), simulated-cycle
+// counters, and cache state. The explorer memoizes on this hash.
+func (r *Runner) Fingerprint() uint64 {
+	b := r.o.AppendCanonical(nil)
+	vpns := r.pt.VPNs()
+	slices.Sort(vpns)
+	for _, vpn := range vpns {
+		e, ok := r.pt.Walk(isa.VAddr(vpn << isa.PageShift))
+		if !ok {
+			continue
+		}
+		b = appendU64(b, vpn)
+		b = appendU64(b, e.PPN)
+		b = appendU64(b, uint64(e.Perms))
+		if e.Present {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	outVaddrs := make([]uint64, 0, len(r.blobs))
+	for v := range r.blobs {
+		outVaddrs = append(outVaddrs, uint64(v))
+	}
+	slices.Sort(outVaddrs)
+	for _, v := range outVaddrs {
+		b = appendU64(b, v)
+	}
+	for slot := 0; slot < NumSlots; slot++ {
+		b = appendU64(b, uint64(r.slots[slot].eid))
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
 }

@@ -17,7 +17,9 @@ FUZZTIME ?= 10s
 CHAOS_SEED ?= 0xC0FFEE
 CHAOS_OPS ?= 2000
 
-.PHONY: all build tier1 vet lint fmt-check race tier2 tier3 fuzz-smoke chaos chaos-smoke modelcheck modelcheck-smoke perf-gate baselines bench clean
+ADVERSARY_SEED ?= 0xad5eed
+
+.PHONY: all build tier1 vet lint fmt-check race tier2 tier3 fuzz-smoke chaos chaos-smoke adversary adversary-smoke modelcheck modelcheck-smoke perf-gate baselines bench clean
 
 all: tier1
 
@@ -45,7 +47,7 @@ fmt-check:
 race:
 	$(GO) test -race ./...
 
-tier2: vet fmt-check lint perf-gate modelcheck-smoke
+tier2: vet fmt-check lint perf-gate modelcheck-smoke adversary-smoke
 	$(GO) test -race ./...
 
 # perf-gate re-runs the headline experiments (table2, sqlservice, mlservice)
@@ -67,6 +69,7 @@ tier3:
 	$(MAKE) modelcheck
 	$(MAKE) fuzz-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) adversary
 
 # modelcheck exhaustively enumerates every schedule at the 2-core x 2-slot
 # scope up to MODELCHECK_DEPTH ops (default 8, ~3 minutes): each
@@ -102,6 +105,23 @@ chaos-smoke:
 	for seed in 0x1 0x2 0x3; do \
 		$(GO) run ./cmd/repro -chaos -seed $$seed -ops 1500 || exit 1; \
 	done
+
+# adversary runs the malicious-kernel campaign: every attack strategy in
+# internal/adversary's catalog executed end to end, each required to finish
+# defended (invariants hold, data correct) or detected (typed error before
+# wrong data). The scoreboard lists strategy x verdict x detection latency;
+# replay any row with `repro -adversary -strategy S -seed N -ops K`. See
+# TESTING.md "Adversarial kernel".
+adversary:
+	$(GO) run ./cmd/repro -adversary -seed $(ADVERSARY_SEED)
+	for seed in 0x1 0x2 0x3; do \
+		$(GO) run ./cmd/repro -adversary -seed $$seed || exit 1; \
+	done
+
+# adversary-smoke is the single-seed slice folded into tier2: the campaign
+# plus the byte-identical replay check, as Go tests.
+adversary-smoke:
+	$(GO) test ./internal/bench -run 'TestAttackCampaign$$|TestAttackReplayDeterminism$$' -count=1 -v
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -8,6 +8,8 @@
 //	repro -json results/       # also write BENCH_<name>.json snapshots
 //	repro -http :6060          # expose expvar + pprof while running
 //	repro -chaos -seed 7       # fault-injection soak (see TESTING.md)
+//	repro -adversary           # adversarial-kernel campaign (see TESTING.md)
+//	repro -adversary -strategy blob_replay -seed 7 -ops 1   # replay one attack
 //	repro -gate baselines      # perf regression gate against committed BENCH_*.json
 //	repro -exhaustive          # exhaustive small-scope model checking (see TESTING.md)
 //
@@ -30,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"nestedenclave/internal/adversary"
 	"nestedenclave/internal/bench"
 	"nestedenclave/internal/simtest"
 	"nestedenclave/internal/trace"
@@ -273,6 +276,52 @@ func runChaos(seed uint64, ops int) error {
 	return nil
 }
 
+// runAdversary is the -adversary mode: the malicious-kernel campaign. With
+// no -strategy, every catalog strategy runs and the scoreboard is printed;
+// with one, that single attack program runs and its transcript is printed —
+// the replay path for a scoreboard row. Exit status 1 on any breach.
+func runAdversary(strategy string, seed uint64, ops int, opsSet bool) error {
+	if strategy == "" {
+		fmt.Printf("--- adversarial kernel campaign: seed %#x ---\n", seed)
+		results, err := bench.RunCampaign(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.Scoreboard(results))
+		for _, r := range results {
+			if r.Verdict == bench.VerdictBreach {
+				return fmt.Errorf("strategy %s breached the defend-or-detect contract: %v",
+					r.Program.Strategy, r.Err)
+			}
+		}
+		fmt.Printf("campaign clean; replay with: repro -adversary -seed %#x\n", seed)
+		return nil
+	}
+	s, err := adversary.ParseStrategy(strategy)
+	if err != nil {
+		return err
+	}
+	p := bench.DefaultProgram(s, seed)
+	if opsSet {
+		p.Ops = ops
+	}
+	res, err := bench.RunAttack(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Transcript)
+	fmt.Printf("verdict: %s", res.Verdict)
+	if res.Detection != "" {
+		fmt.Printf(" (%s, latency %d cycles)", res.Detection, res.DetectLatency)
+	}
+	fmt.Println()
+	if res.Verdict == bench.VerdictBreach {
+		return fmt.Errorf("breach: %v", res.Err)
+	}
+	fmt.Printf("replay with: repro %s\n", p)
+	return nil
+}
+
 // runExhaustive is the -exhaustive mode: systematic enumeration of every
 // schedule at the small 2-core × 2-slot scope up to the depth horizon, each
 // interleaving diffed against the oracle and audited against the §VII-A
@@ -315,7 +364,9 @@ func main() {
 	httpAddr := flag.String("http", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address")
 	chaosMode := flag.Bool("chaos", false, "run the fault-injection soak instead of the experiments")
 	chaosSeed := flag.Uint64("seed", 0xC0FFEE, "chaos soak: injector seed (same seed replays the same run)")
-	chaosOps := flag.Int("ops", 1000, "chaos soak: number of YCSB operations")
+	chaosOps := flag.Int("ops", 1000, "chaos soak: number of YCSB operations; adversary: attack op budget")
+	advMode := flag.Bool("adversary", false, "run the adversarial-kernel campaign instead of the experiments")
+	advStrategy := flag.String("strategy", "", "adversary: run a single strategy ("+strings.Join(adversary.StrategyNames(), ", ")+")")
 	gateDir := flag.String("gate", "", "compare gated metrics against BENCH_*.json baselines in this directory (perf regression gate)")
 	gateTol := flag.Float64("gate-tol", bench.GateTolerance, "gate: relative regression tolerance")
 	exhaustive := flag.Bool("exhaustive", false, "run the exhaustive small-scope model check instead of the experiments")
@@ -329,6 +380,19 @@ func main() {
 	if *exhaustive {
 		if err := runExhaustive(*mcDepth, *mcMaxDepth, *mcMultiOuter, *mcPOR, *mcMinPrune); err != nil {
 			fmt.Fprintf(os.Stderr, "modelcheck: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *advMode {
+		opsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "ops" {
+				opsSet = true
+			}
+		})
+		if err := runAdversary(*advStrategy, *chaosSeed, *chaosOps, opsSet); err != nil {
+			fmt.Fprintf(os.Stderr, "adversary: %v\n", err)
 			os.Exit(1)
 		}
 		return

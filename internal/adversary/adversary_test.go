@@ -1,0 +1,92 @@
+package adversary
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseStrategy(t *testing.T) {
+	for _, s := range Strategies() {
+		got, err := ParseStrategy(string(s))
+		if err != nil || got != s {
+			t.Errorf("ParseStrategy(%q) = %q, %v", s, got, err)
+		}
+	}
+	if _, err := ParseStrategy("melt_the_epc"); err == nil {
+		t.Errorf("unknown strategy accepted")
+	}
+	if len(Strategies()) != 12 {
+		t.Errorf("catalog has %d strategies, want 12", len(Strategies()))
+	}
+}
+
+func TestNewRejectsBadPrograms(t *testing.T) {
+	if _, err := New(Program{Strategy: "bogus", Ops: 1}, nil); err == nil {
+		t.Errorf("unknown strategy accepted")
+	}
+	if _, err := New(Program{Strategy: StratBlobReplay, Ops: 0}, nil); err == nil {
+		t.Errorf("zero op budget accepted")
+	}
+	if _, err := New(Program{Strategy: StratBlobReplay, Ops: -3}, nil); err == nil {
+		t.Errorf("negative op budget accepted")
+	}
+}
+
+func TestSpendExhaustsBudget(t *testing.T) {
+	e, err := New(Program{Seed: 7, Strategy: StratAEXPreempt, Ops: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Spend("a", "first") || !e.Spend("b", "second") {
+		t.Fatalf("budgeted spends refused")
+	}
+	if e.Spend("c", "third") {
+		t.Errorf("spend beyond the op budget succeeded")
+	}
+	if e.Fired() != 2 {
+		t.Errorf("Fired() = %d, want 2", e.Fired())
+	}
+	if got := len(e.Actions()); got != 2 {
+		t.Errorf("len(Actions()) = %d, want 2", got)
+	}
+}
+
+// TestTranscriptDeterminism: the transcript is a pure function of the
+// Program and the spend sequence — two engines fed the same spends render
+// byte-identical transcripts.
+func TestTranscriptDeterminism(t *testing.T) {
+	run := func() string {
+		e, err := New(Program{Seed: 0xfeed, Strategy: StratIPCReplay, Ops: 3}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Spend("ipc.replay", "re-deliver frame 0")
+		e.Spend("ipc.replay", "re-deliver frame 1")
+		return e.Transcript()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("transcripts diverge:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.HasPrefix(a, "program -adversary -strategy ipc_replay -seed 0xfeed -ops 3\n") {
+		t.Errorf("transcript header wrong:\n%s", a)
+	}
+}
+
+func TestFirstAttackCycle(t *testing.T) {
+	e, err := New(Program{Seed: 1, Strategy: StratDoubleMap, Ops: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.FirstAttackCycle(); got != -1 {
+		t.Errorf("FirstAttackCycle before any spend = %d, want -1", got)
+	}
+	e.Spend("host.mmap", "alias")
+	// Without a recorder, actions carry cycle -1 but are still recorded.
+	if got := e.FirstAttackCycle(); got != -1 {
+		t.Errorf("FirstAttackCycle with nil recorder = %d, want -1", got)
+	}
+	if e.Fired() != 1 {
+		t.Errorf("Fired() = %d, want 1", e.Fired())
+	}
+}

@@ -1,0 +1,416 @@
+package adversary
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"nestedenclave/internal/isa"
+	"nestedenclave/internal/kos"
+	"nestedenclave/internal/pt"
+	"nestedenclave/internal/sgx"
+	"nestedenclave/internal/trace"
+)
+
+// Engine executes one attack Program. It is installed into the simulator's
+// kernel-controlled hook sites (the pager's blob handling, the scheduler's
+// preemption point, the IPC router) and fires attack actions until its Ops
+// budget is spent. Every fired action is recorded with the simulated cycle
+// it landed on; the resulting transcript is a pure function of the Program,
+// so `nesclave repro -adversary` replays a run byte-identically.
+//
+// All randomness comes from a splitmix64 stream seeded by Program.Seed and
+// drawn in a fixed order at construction time — never from the clock, the
+// scheduler, or map iteration (the package is in nescheck's replay-critical
+// set).
+type Engine struct {
+	prog Program
+	rec  *trace.Recorder
+
+	mu      sync.Mutex
+	fired   int
+	actions []Action
+
+	// Seed-derived program parameters, drawn once in New in a fixed order.
+	aexDelay   int // in-enclave accesses to let pass before the first preemption
+	ipcTrigger int // extra sends beyond the window before an IPC replay fires
+
+	// Blob hoard: every sealed EWB blob the pager ever handed to untrusted
+	// memory, in arrival order (arrival order is deterministic; the capture
+	// map is only ever indexed, never ranged).
+	captures []capture
+	firstCap map[capKey]int
+
+	// remap_under_tlb target (SetRemapTarget).
+	remapPT    *pt.Table
+	remapV     isa.VAddr
+	remapPA    isa.PAddr
+	remapPerms isa.Perm
+	remapSet   bool
+	preemptN   int
+
+	// eld_redirect target (SetRedirect).
+	redirPA  isa.PAddr
+	redirSet bool
+
+	// IPC man-in-the-middle state.
+	held     [][]byte // frames withheld for a shallow reorder
+	deepHeld bool     // a frame has been withheld permanently
+}
+
+type capKey struct {
+	owner isa.EID
+	vaddr isa.VAddr
+}
+
+type capture struct {
+	key  capKey
+	blob *sgx.EvictedPage
+}
+
+// New validates the program and derives its seed-dependent parameters.
+// rec may be nil (actions then carry cycle -1).
+func New(p Program, rec *trace.Recorder) (*Engine, error) {
+	if _, err := ParseStrategy(string(p.Strategy)); err != nil {
+		return nil, err
+	}
+	if p.Ops <= 0 {
+		return nil, fmt.Errorf("adversary: program needs a positive op budget, got %d", p.Ops)
+	}
+	e := &Engine{prog: p, rec: rec, firstCap: make(map[capKey]int)}
+	// Draw every seed-derived parameter here, in a fixed order, so the
+	// program's behaviour depends only on (Seed, Strategy, Ops).
+	s := splitmix{state: p.Seed}
+	e.aexDelay = 1 + int(s.next()%3)
+	e.ipcTrigger = int(s.next() % 3)
+	return e, nil
+}
+
+// splitmix is the same splitmix64 stream package chaos uses — one uint64 of
+// state, full-period, trivially reproducible.
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Program returns the attack specification the engine runs.
+func (e *Engine) Program() Program { return e.prog }
+
+// Spend consumes one unit of the attack budget, recording the action. It
+// returns false (and fires nothing) once the budget is exhausted. Exported
+// because scenario-driven attacks (double_map's alias mapping, the pinned
+// readers) burn budget from the campaign harness rather than a hook.
+func (e *Engine) Spend(site, note string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.spendLocked(site, note)
+}
+
+func (e *Engine) spendLocked(site, note string) bool {
+	if e.fired >= e.prog.Ops {
+		return false
+	}
+	cy := int64(-1)
+	if e.rec != nil {
+		cy = e.rec.Cycles()
+	}
+	e.fired++
+	e.actions = append(e.actions, Action{Seq: e.fired, Cycles: cy, Site: site, Note: note})
+	return true
+}
+
+// Fired reports how many attack actions have landed.
+func (e *Engine) Fired() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fired
+}
+
+// Actions returns a copy of the fired actions in order.
+func (e *Engine) Actions() []Action {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Action(nil), e.actions...)
+}
+
+// FirstAttackCycle returns the simulated cycle of the first fired action, or
+// -1 if nothing fired. Detection latency is measured from here.
+func (e *Engine) FirstAttackCycle() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.actions) == 0 {
+		return -1
+	}
+	return e.actions[0].Cycles
+}
+
+// Transcript renders the program header and every fired action — the
+// byte-identical replay artifact.
+func (e *Engine) Transcript() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s\n", e.prog)
+	for _, a := range e.actions {
+		fmt.Fprintf(&sb, "%s\n", a)
+	}
+	return sb.String()
+}
+
+// captureBlob is the OnEvict tap: hoard a private copy of every sealed blob
+// the pager stores, remembering the first (oldest) capture per page lane.
+func (e *Engine) captureBlob(owner isa.EID, vpage isa.VAddr, blob *sgx.EvictedPage) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cp := *blob
+	cp.Cipher = append([]byte(nil), blob.Cipher...)
+	k := capKey{owner, vpage}
+	e.captures = append(e.captures, capture{key: k, blob: &cp})
+	if _, seen := e.firstCap[k]; !seen {
+		e.firstCap[k] = len(e.captures) - 1
+	}
+}
+
+// InstallPager wires the engine into the driver's paging hook sites. Only
+// the hooks the strategy needs are installed; everything else stays nil
+// (and therefore free).
+func (e *Engine) InstallPager(d *kos.Driver) {
+	switch e.prog.Strategy {
+	case StratBlobReplay:
+		d.OnEvict = e.captureBlob
+		d.ReloadFilter = func(owner isa.EID, vpage isa.VAddr, genuine *sgx.EvictedPage) *sgx.EvictedPage {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			idx, ok := e.firstCap[capKey{owner, vpage}]
+			if !ok {
+				return nil
+			}
+			stale := e.captures[idx].blob
+			if stale.Version >= genuine.Version {
+				return nil // the oldest capture is still the current blob
+			}
+			if !e.spendLocked("pager.reload",
+				fmt.Sprintf("replay stale blob v%d over genuine v%d for eid %d page %#x",
+					stale.Version, genuine.Version, owner, uint64(vpage))) {
+				return nil
+			}
+			return stale
+		}
+	case StratBlobCrossWire:
+		d.OnEvict = e.captureBlob
+		d.ReloadFilter = func(owner isa.EID, vpage isa.VAddr, genuine *sgx.EvictedPage) *sgx.EvictedPage {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			k := capKey{owner, vpage}
+			// Newest capture of any OTHER page lane: a fresh, authentic blob
+			// wired to the wrong fault.
+			for i := len(e.captures) - 1; i >= 0; i-- {
+				c := e.captures[i]
+				if c.key == k {
+					continue
+				}
+				if !e.spendLocked("pager.reload",
+					fmt.Sprintf("cross-wire blob of eid %d page %#x into fault of eid %d page %#x",
+						c.key.owner, uint64(c.key.vaddr), owner, uint64(vpage))) {
+					return nil
+				}
+				return c.blob
+			}
+			return nil
+		}
+	case StratDropShootdown, StratReorderShootdown:
+		d.SuppressIPI = func(victim isa.EID, core int) bool {
+			return e.Spend("pager.shootdown",
+				fmt.Sprintf("suppress ETRACK IPI for eid %d -> core %d", victim, core))
+		}
+	case StratEldRedirect:
+		d.RemapReload = func(owner isa.EID, vpage isa.VAddr) (isa.PAddr, bool) {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			if !e.redirSet {
+				return 0, false
+			}
+			if !e.spendLocked("pager.remap",
+				fmt.Sprintf("point reloaded PTE of eid %d page %#x at attacker pa %#x",
+					owner, uint64(vpage), uint64(e.redirPA))) {
+				return 0, false
+			}
+			return e.redirPA, true
+		}
+	}
+}
+
+// SetRedirect arms eld_redirect with the attacker-chosen physical frame.
+func (e *Engine) SetRedirect(pa isa.PAddr) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.redirPA, e.redirSet = pa, true
+}
+
+// SetRemapTarget arms remap_under_tlb: the page table to rewrite, the victim
+// virtual page, and the attacker frame to point it at.
+func (e *Engine) SetRemapTarget(t *pt.Table, v isa.VAddr, pa isa.PAddr, perms isa.Perm) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.remapPT, e.remapV, e.remapPA, e.remapPerms, e.remapSet = t, v, pa, perms, true
+}
+
+// InstallScheduler wires the engine into the machine's preemption hook for
+// the scheduler-level strategies. victimCore < 0 targets whichever core the
+// victim lands on (the SDK rotates ECalls across cores, so a fixed target
+// would usually miss).
+func (e *Engine) InstallScheduler(m *sgx.Machine, victimCore int) {
+	match := func(c *sgx.Core) bool { return victimCore < 0 || c.ID == victimCore }
+	switch e.prog.Strategy {
+	case StratAEXPreempt:
+		m.Preempt = func(c *sgx.Core) {
+			if !match(c) {
+				return
+			}
+			e.mu.Lock()
+			e.preemptN++
+			fire := e.preemptN >= e.aexDelay &&
+				e.spendLocked("sched.preempt",
+					fmt.Sprintf("targeted AEX+ERESUME on core %d at in-enclave access #%d", c.ID, e.preemptN))
+			e.mu.Unlock()
+			if !fire {
+				return
+			}
+			t := c.CurrentTCS()
+			if t == nil {
+				return
+			}
+			if m.AEX(c) != nil {
+				return
+			}
+			_ = m.EResume(c, t)
+		}
+	case StratEresumeWrongCore:
+		m.Preempt = func(c *sgx.Core) {
+			if !match(c) {
+				return
+			}
+			var alt *sgx.Core
+			for _, cc := range m.Cores() {
+				if cc.ID != c.ID && !cc.InEnclave() {
+					alt = cc
+					break
+				}
+			}
+			if alt == nil {
+				return
+			}
+			if !e.Spend("sched.resume",
+				fmt.Sprintf("AEX core %d, ERESUME its TCS on core %d", c.ID, alt.ID)) {
+				return
+			}
+			t := c.CurrentTCS()
+			if t == nil {
+				return
+			}
+			if m.AEX(c) != nil {
+				return
+			}
+			_ = m.EResume(alt, t)
+		}
+	case StratRemapUnderTLB:
+		m.Preempt = func(c *sgx.Core) {
+			if !match(c) {
+				return
+			}
+			e.mu.Lock()
+			if !e.remapSet {
+				e.mu.Unlock()
+				return
+			}
+			e.preemptN++
+			n := e.preemptN
+			switch n {
+			case 2:
+				// Access #1 walked the honest PTE and warmed the TLB (the core
+				// entered with a cold TLB); now the rewrite hides behind the
+				// cached translation until the TLB drops it.
+				if e.spendLocked("sched.remap",
+					fmt.Sprintf("rewrite PTE %#x -> pa %#x under live TLB of core %d",
+						uint64(e.remapV), uint64(e.remapPA), c.ID)) {
+					e.remapPT.Map(e.remapV, e.remapPA, e.remapPerms)
+				}
+				e.mu.Unlock()
+			case 4:
+				// Force a flush so the poisoned PTE gets re-walked.
+				fire := e.spendLocked("sched.preempt",
+					fmt.Sprintf("targeted AEX+ERESUME on core %d to flush its TLB", c.ID))
+				e.mu.Unlock()
+				if !fire {
+					return
+				}
+				t := c.CurrentTCS()
+				if t == nil {
+					return
+				}
+				if m.AEX(c) != nil {
+					return
+				}
+				_ = m.EResume(c, t)
+			default:
+				e.mu.Unlock()
+			}
+		}
+	}
+}
+
+// InstallIPC wires the engine into the kernel IPC router as a full
+// man-in-the-middle on the named channel. winSize must match the reliable
+// channel's retransmit window so the deep strategies aim past it.
+func (e *Engine) InstallIPC(svc *kos.IPCService, channelName string, winSize int) {
+	adv := &kos.IPCAdversary{}
+	switch e.prog.Strategy {
+	case StratIPCReplay:
+		trigger := winSize + 3 + e.ipcTrigger
+		adv.Scramble = func(log, queue [][]byte, incoming []byte) [][]byte {
+			out := append(queue, incoming)
+			if len(log) >= trigger &&
+				e.Spend("ipc.replay", fmt.Sprintf("re-deliver frame 0 after %d sends", len(log))) {
+				out = append(out, log[0])
+			}
+			return out
+		}
+	case StratIPCReorder:
+		adv.Scramble = func(log, queue [][]byte, incoming []byte) [][]byte {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			if len(e.held) == 0 {
+				if e.spendLocked("ipc.reorder",
+					fmt.Sprintf("withhold frame %d for one send", len(log)-1)) {
+					e.held = append(e.held, incoming)
+					return queue
+				}
+				return append(queue, incoming)
+			}
+			out := append(queue, incoming)
+			out = append(out, e.held...)
+			e.held = nil
+			return out
+		}
+	case StratIPCReorderDeep:
+		adv.Scramble = func(log, queue [][]byte, incoming []byte) [][]byte {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			if !e.deepHeld && len(log) >= 2 &&
+				e.spendLocked("ipc.drop",
+					fmt.Sprintf("withhold frame %d past the retransmit window", len(log)-1)) {
+				e.deepHeld = true
+				return queue
+			}
+			return append(queue, incoming)
+		}
+	default:
+		return
+	}
+	svc.SetAdversary(channelName, adv)
+}

@@ -129,13 +129,15 @@ func mustAbs(t *testing.T, p string) string {
 }
 
 // TestExplorerPackagesAreReplayCritical pins the determinism rule's
-// coverage of the exhaustive model checker: internal/simtest (the explorer
-// and its enumeration loop) and internal/model (the oracle whose canonical
-// fingerprints key the memoization) must stay in the replay-critical set, or
-// a global-RNG or map-order regression in the search could make CI
-// counterexamples unreproducible without any analyzer finding.
+// coverage of the exhaustive model checker and the attack engine:
+// internal/simtest (the explorer and its enumeration loop), internal/model
+// (the oracle whose canonical fingerprints key the memoization), and
+// internal/adversary (whose (seed, strategy, ops) programs must replay
+// byte-identically) must stay in the replay-critical set, or a global-RNG or
+// map-order regression could make CI counterexamples and campaign breaches
+// unreproducible without any analyzer finding.
 func TestExplorerPackagesAreReplayCritical(t *testing.T) {
-	for _, pkg := range []string{"internal/simtest", "internal/model"} {
+	for _, pkg := range []string{"internal/simtest", "internal/model", "internal/adversary"} {
 		if !pathMatchesAny("nestedenclave/"+pkg, replayCriticalPkgs) {
 			t.Errorf("%s dropped from replayCriticalPkgs: the exhaustive explorer's determinism is no longer enforced", pkg)
 		}

@@ -17,6 +17,7 @@ var replayCriticalPkgs = []string{
 	"internal/simtest",
 	"internal/chaos",
 	"internal/channel",
+	"internal/adversary",
 }
 
 // injectRandPkgs are workload generators: deterministic corpora are their

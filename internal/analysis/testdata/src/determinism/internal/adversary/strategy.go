@@ -1,0 +1,48 @@
+// Fixture: internal/adversary executes malicious-kernel attack strategies as
+// deterministic (seed, strategy, ops) programs — `repro -adversary` must
+// replay a campaign row byte-identically, so an attack decision drawn from
+// the global RNG (or from map order) would make a found breach
+// unreproducible. Seed-derived splitmix streams drawn in a fixed order are
+// the sanctioned idiom.
+package adversary
+
+import "math/rand"
+
+type action struct{ site string }
+
+// fireMaybe is the violation the rule exists for: whether the attack lands
+// depends on RNG state no program seed controls — the transcript of two
+// "identical" runs would diverge.
+func fireMaybe(budget int) bool {
+	return budget > 0 && rand.Intn(4) == 0 // want "determinism/rand-global: rand.Intn"
+}
+
+// transcript leaks capture-map iteration order into the replay artifact:
+// same program, differently-ordered transcript each run.
+func transcript(captures map[uint64][]byte) [][]byte {
+	var lines [][]byte
+	for _, blob := range captures { // want "determinism/map-order: .*append to a slice declared outside the loop"
+		lines = append(lines, blob)
+	}
+	return lines
+}
+
+// seededStream is the sanctioned spelling: every draw comes from a stream
+// the Program seeds, in a fixed call order. Clean.
+type seededStream struct{ state uint64 }
+
+func (s *seededStream) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	return z ^ (z >> 31)
+}
+
+func plan(seed uint64) []action {
+	s := &seededStream{state: seed}
+	out := []action{{site: "pager"}}
+	if s.next()%2 == 0 {
+		out = append(out, action{site: "sched"})
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"crypto/aes"
 	"crypto/cipher"
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"nestedenclave/internal/chaos"
@@ -106,6 +107,37 @@ func (e *GapError) Error() string {
 // Is classifies gaps as transient for retry policies.
 func (e *GapError) Is(target error) bool { return target == chaos.ErrTransient }
 
+// ErrReplayDetected is the sentinel for *adversarial* channel failures: a
+// frame replayed from beyond the retransmit window, or a reorder so deep the
+// missing frame can no longer be retransmitted. Unlike a GapError these are
+// NOT transient — an honest kernel under loss can only produce disorder
+// within the bounded window, so anything beyond it is a malicious router and
+// retrying against it would hand the attacker unlimited tries. RetryPolicy
+// therefore fails fast on this sentinel.
+var ErrReplayDetected = errors.New("channel: replay detected")
+
+// ReplayError reports an adversarial frame: Seq is the offending (replayed or
+// unrecoverably missing) sequence number, Latest the stream position that
+// proves it cannot be honest traffic. Reorder distinguishes the
+// deep-reorder case (the missing frame fell out of the sender's retransmit
+// window) from a straight replay of long-delivered traffic.
+type ReplayError struct {
+	Channel string
+	Seq     uint64
+	Latest  uint64
+	Reorder bool
+}
+
+func (e *ReplayError) Error() string {
+	if e.Reorder {
+		return fmt.Sprintf("channel %s: frame %d reordered beyond the retransmit bound (stream at %d): replay attack suspected", e.Channel, e.Seq, e.Latest)
+	}
+	return fmt.Sprintf("channel %s: frame %d replayed from beyond the retransmit window (stream at %d)", e.Channel, e.Seq, e.Latest)
+}
+
+// Is marks replays as detected attacks — and deliberately NOT transient.
+func (e *ReplayError) Is(target error) bool { return target == ErrReplayDetected }
+
 // frame is [8-byte LE seq || AES-GCM(payload, nonce=seq, AAD=name)].
 func (ch *ReliableChannel) seal(seq uint64, payload []byte) []byte {
 	out := make([]byte, 8, 8+len(payload)+16)
@@ -167,6 +199,12 @@ func (ch *ReliableChannel) Recv() (payload []byte, ok bool, err error) {
 		}
 		switch {
 		case seq < ch.recvSeq:
+			// An honest retransmit or duplicated frame can lag the stream by
+			// at most the retransmit window. Anything older is a replay of
+			// long-delivered traffic — an attack, not noise.
+			if ch.recvSeq-seq > uint64(ch.winSize) {
+				return nil, true, &ReplayError{Channel: ch.name, Seq: seq, Latest: ch.recvSeq}
+			}
 			// Duplicate of an already-delivered frame: drop and keep going.
 			ch.chaos.Recovered(chaos.SiteIPCDup)
 			continue
@@ -215,7 +253,10 @@ func (ch *ReliableChannel) RecvRepaired(sender *ReliableChannel, maxRepairs int)
 				// has been consumed, so just keep receiving.
 				continue
 			}
-			return nil, got, fmt.Errorf("%v (retransmit: %v)", rerr, terr)
+			// The missing frame fell out of the sender's retransmit window:
+			// the stream was reordered deeper than any honest kernel could
+			// manage. Classify as a detected attack so retries fail fast.
+			return nil, got, &ReplayError{Channel: ch.name, Seq: ge.Want, Latest: sender.sendSeq, Reorder: true}
 		}
 	}
 }

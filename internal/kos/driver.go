@@ -1,6 +1,7 @@
 package kos
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -31,6 +32,31 @@ type Driver struct {
 	// incorrect (or malicious) kernel. The hardware's EWB check is expected
 	// to refuse the eviction while stale translations remain.
 	SkipShootdown bool
+
+	// Adversary hook sites. All are nil under an honest kernel (one nil
+	// check on each path) and are installed by internal/adversary's Engine
+	// to model a kernel that lies. Each runs OUTSIDE d.mu.
+	//
+	// OnEvict observes every sealed blob the pager stores in untrusted
+	// memory — the attacker's tap for capturing stale blobs to replay.
+	OnEvict func(owner isa.EID, vpage isa.VAddr, blob *sgx.EvictedPage)
+	// SuppressIPI, when it returns true, drops the ETRACK shootdown IPI for
+	// the given (victim enclave, core) pair instead of delivering it.
+	SuppressIPI func(victim isa.EID, core int) bool
+	// ReloadFilter lets the kernel substitute the blob handed to ELDU on
+	// the page-fault reload path (replaying a stale capture, cross-wiring
+	// another enclave's blob). Returning nil keeps the genuine blob.
+	ReloadFilter func(owner isa.EID, vpage isa.VAddr, genuine *sgx.EvictedPage) *sgx.EvictedPage
+	// RemapReload, when it returns ok, overrides the physical frame the
+	// reloaded page is mapped at — pointing the victim's ELRANGE at an
+	// attacker-chosen address instead of the freshly loaded EPC page.
+	RemapReload func(owner isa.EID, vpage isa.VAddr) (isa.PAddr, bool)
+
+	// detect records the most recent typed freshness rejection returned by
+	// ELDU on the reload path. The architectural interface can only deliver
+	// #PF to the faulting core, so the driver keeps the hardware's detection
+	// evidence here for the audit harness (DetectionEvidence).
+	detect error
 }
 
 type evictKey struct {
@@ -198,10 +224,11 @@ func (d *Driver) EvictPage(p *Process, s *sgx.SECS, vaddr isa.VAddr) error {
 		return err
 	}
 	cores := m.ETrack(s)
-	if !d.SkipShootdown {
-		for _, c := range cores {
-			m.ShootdownFor(c, s.EID)
+	for _, c := range cores {
+		if d.SkipShootdown || (d.SuppressIPI != nil && d.SuppressIPI(s.EID, c.ID)) {
+			continue
 		}
+		m.ShootdownFor(c, s.EID)
 	}
 	blob, err := m.EWB(pageIdx)
 	if err != nil {
@@ -210,6 +237,9 @@ func (d *Driver) EvictPage(p *Process, s *sgx.SECS, vaddr isa.VAddr) error {
 	d.mu.Lock()
 	d.evicted[evictKey{owner: s.EID, vaddr: vaddr.PageBase()}] = blob
 	d.mu.Unlock()
+	if d.OnEvict != nil {
+		d.OnEvict(s.EID, vaddr.PageBase(), blob)
+	}
 	p.pt.MarkNotPresent(vaddr)
 	return nil
 }
@@ -236,34 +266,71 @@ func (d *Driver) reloadIfEvicted(c *sgx.Core, f *isa.Fault) bool {
 	delete(d.evicted, key)
 	d.mu.Unlock()
 
+	// A lying kernel may hand ELDU something other than the page's genuine
+	// blob. The genuine one is kept aside either way, so a later honest
+	// retry can still cure the fault.
+	load, malicious := blob, false
+	if d.ReloadFilter != nil {
+		if sub := d.ReloadFilter(blob.Owner, vpage, blob); sub != nil && sub != blob {
+			load, malicious = sub, true
+		}
+	}
+
 	// Under EPC pressure the reload itself may need the paging daemon to
 	// make room first.
-	page, err := m.ELDU(blob)
+	page, err := m.ELDU(load)
 	for attempt := 0; err != nil && m.FreeEPCPages() == 0 && attempt < 4; attempt++ {
-		if d.makeRoom(blob.Owner) != nil {
+		if d.makeRoom(load.Owner) != nil {
 			break
 		}
-		page, err = m.ELDU(blob)
+		page, err = m.ELDU(load)
 	}
 	if err != nil {
-		// Put the blob back so the page is not lost; the access will fail
-		// but a later retry can still succeed.
+		// Put the genuine blob back so the page is not lost; the access will
+		// fail but a later retry can still succeed.
 		d.mu.Lock()
 		d.evicted[key] = blob
+		if errors.Is(err, sgx.ErrBlobReplay) {
+			d.detect = err
+		}
 		d.mu.Unlock()
 		return false
 	}
+	if malicious {
+		// The hardware accepted the substitute (a fresh, authentic blob of
+		// some OTHER page): the EPC now holds that page, but the victim's
+		// data is still only in its genuine blob — keep it.
+		d.mu.Lock()
+		d.evicted[key] = blob
+		d.mu.Unlock()
+	}
 	// Re-establish the mapping in the owning process (and hence the
-	// faulting core's address space).
+	// faulting core's address space). RemapReload models the last lie: the
+	// PTE pointing somewhere other than the page ELDU just loaded.
+	pa := m.EPC.AddrOf(page)
+	if d.RemapReload != nil {
+		if apa, ok := d.RemapReload(blob.Owner, vpage); ok {
+			pa = apa
+		}
+	}
 	d.mu.Lock()
 	proc := d.procs[blob.Owner]
 	d.mu.Unlock()
 	if proc != nil {
-		proc.pt.Map(vpage, m.EPC.AddrOf(page), blob.Perms)
+		proc.pt.Map(vpage, pa, blob.Perms)
 	} else if c.PT != nil {
-		c.PT.Map(vpage, m.EPC.AddrOf(page), blob.Perms)
+		c.PT.Map(vpage, pa, blob.Perms)
 	}
 	return true
+}
+
+// DetectionEvidence returns the most recent typed blob-freshness rejection
+// the reload path recorded (nil when none): the audit harness's window into
+// detections that the architectural fault interface flattens into #PF.
+func (d *Driver) DetectionEvidence() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.detect
 }
 
 // EvictedCount reports how many pages are currently swapped out (tests).

@@ -43,6 +43,15 @@ type IPCAdversary struct {
 	ReplayLast bool
 	// Forge, when non-nil, is delivered in place of each sent message.
 	Forge func(payload []byte) []byte
+	// Scramble, when non-nil, takes over delivery entirely: full
+	// man-in-the-middle control over ordering, withholding, and replay.
+	// It receives the kernel's log of every payload ever sent on the
+	// channel, the currently queued payloads, and the payload being
+	// delivered, and returns the queue to install (typically the old queue
+	// plus incoming, reordered, trimmed, or salted with replayed log
+	// entries). The chaos layer is bypassed for scrambled channels — the
+	// adversary's delivery decision is final and deterministic.
+	Scramble func(log, queue [][]byte, incoming []byte) [][]byte
 }
 
 // NewIPCService creates the kernel's IPC router.
@@ -84,6 +93,23 @@ func (s *IPCService) Send(channel string, payload []byte) {
 			if len(log) >= 2 {
 				cp = append([]byte(nil), log[len(log)-2].Payload...)
 			}
+		}
+		if a.Scramble != nil {
+			log := make([][]byte, 0, len(s.seen[channel]))
+			for _, m := range s.seen[channel] {
+				log = append(log, append([]byte(nil), m.Payload...))
+			}
+			queue := make([][]byte, 0, len(s.queues[channel]))
+			for _, m := range s.queues[channel] {
+				queue = append(queue, append([]byte(nil), m.Payload...))
+			}
+			next := a.Scramble(log, queue, cp)
+			q := make([]Message, 0, len(next))
+			for _, p := range next {
+				q = append(q, Message{Payload: append([]byte(nil), p...)})
+			}
+			s.queues[channel] = q
+			return
 		}
 	}
 	// Runtime fault injection: the unreliable-transport behaviours real IPC

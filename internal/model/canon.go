@@ -90,6 +90,36 @@ func (o *Oracle) AppendCanonical(b []byte) []byte {
 			w.u64(uint64(e.Perms))
 		}
 	}
+
+	// Paging-freshness ledger: ELD verdicts depend on it, so states that
+	// differ only in blob versions must not be memoized as identical.
+	// Zero-valued lanes are skipped so a never-evicted state canonicalizes
+	// identically whether or not its lane was ever touched.
+	keys := make([]BlobKey, 0, len(o.blobVer))
+	for k := range o.blobVer {
+		if o.blobVer[k] != 0 || o.blobOut[k] {
+			keys = append(keys, k)
+		}
+	}
+	slices.SortFunc(keys, func(a, b BlobKey) int {
+		if a.Owner != b.Owner {
+			return int(a.Owner) - int(b.Owner)
+		}
+		switch {
+		case a.Vaddr < b.Vaddr:
+			return -1
+		case a.Vaddr > b.Vaddr:
+			return 1
+		}
+		return 0
+	})
+	w.u64(uint64(len(keys)))
+	for _, k := range keys {
+		w.u64(uint64(k.Owner))
+		w.u64(k.Vaddr)
+		w.u64(o.blobVer[k])
+		w.bool(o.blobOut[k])
+	}
 	return w.b
 }
 
@@ -150,6 +180,27 @@ func (o *Oracle) CanonicalString() string {
 	}
 	for i, c := range o.cores {
 		fmt.Fprintf(&sb, "core %d: in=%v cur=%s tlb=%s\n", i, c.In, frameString(&c.Cur), o.DumpTLB(i))
+	}
+	keys := make([]BlobKey, 0, len(o.blobVer))
+	for k := range o.blobVer {
+		if o.blobVer[k] != 0 || o.blobOut[k] {
+			keys = append(keys, k)
+		}
+	}
+	slices.SortFunc(keys, func(a, b BlobKey) int {
+		if a.Owner != b.Owner {
+			return int(a.Owner) - int(b.Owner)
+		}
+		switch {
+		case a.Vaddr < b.Vaddr:
+			return -1
+		case a.Vaddr > b.Vaddr:
+			return 1
+		}
+		return 0
+	})
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "blob %d@%#x: ver=%d out=%v\n", k.Owner, k.Vaddr, o.blobVer[k], o.blobOut[k])
 	}
 	return sb.String()
 }

@@ -140,6 +140,20 @@ type Oracle struct {
 	pages    map[int]*Page
 	enclaves map[isa.EID]*Enclave
 	cores    []*CoreState
+
+	// Paging freshness ledger: the oracle's ground truth a lying kernel
+	// cannot rewrite. blobVer is the monotonic eviction counter per
+	// (owner, vaddr) lane; blobOut marks that the current version's blob is
+	// outstanding (evicted and not yet reloaded). ELD verdicts depend on
+	// both, so they are part of canonical state.
+	blobVer map[BlobKey]uint64
+	blobOut map[BlobKey]bool
+}
+
+// BlobKey identifies one paging-freshness lane: an (owner, page base) pair.
+type BlobKey struct {
+	Owner isa.EID
+	Vaddr uint64
 }
 
 // New creates an oracle for a machine of the given shape.
@@ -149,6 +163,8 @@ func New(cfg Config) *Oracle {
 		nextEID:  1,
 		pages:    make(map[int]*Page),
 		enclaves: make(map[isa.EID]*Enclave),
+		blobVer:  make(map[BlobKey]uint64),
+		blobOut:  make(map[BlobKey]bool),
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		o.cores = append(o.cores, &CoreState{TLB: make(map[uint64]TLBEntry)})
@@ -749,19 +765,37 @@ func (o *Oracle) EWB(page int) Verdict {
 			}
 		}
 	}
+	key := BlobKey{Owner: p.Owner, Vaddr: p.Vaddr}
+	o.blobVer[key]++
+	o.blobOut[key] = true
 	delete(o.pages, page)
 	return VOK
 }
 
-// ELD reloads an evicted page at the EPC index the machine allocated. The
-// anti-replay version array is the harness's job (it never replays a blob in
-// generated schedules; the directed tests cover the deny path).
-func (o *Oracle) ELD(owner isa.EID, page int, vaddr uint64, t isa.PageType, perms isa.Perm) Verdict {
+// ELD reloads an evicted page at the EPC index the machine allocated,
+// auditing the kernel's claim against the oracle's own freshness ledger: the
+// presented version must be the current counter for its lane AND that blob
+// must still be outstanding. A kernel replaying a stale or already-consumed
+// blob gets VGP no matter what it claims — the oracle cannot be fooled by
+// kernel lies because it never reads kernel state.
+func (o *Oracle) ELD(owner isa.EID, page int, vaddr uint64, t isa.PageType, perms isa.Perm, version uint64) Verdict {
+	key := BlobKey{Owner: owner, Vaddr: vaddr}
+	if version != o.blobVer[key] || !o.blobOut[key] {
+		return VGP // replayed or double-loaded blob
+	}
 	if _, ok := o.enclaves[owner]; !ok {
 		return VGP
 	}
+	o.blobOut[key] = false
 	o.pages[page] = &Page{Valid: true, Type: t, Owner: owner, Vaddr: vaddr, Perms: perms}
 	return VOK
+}
+
+// BlobVersion reports the oracle's current freshness counter and outstanding
+// flag for a paging lane (harness introspection).
+func (o *Oracle) BlobVersion(owner isa.EID, vaddr uint64) (uint64, bool) {
+	key := BlobKey{Owner: owner, Vaddr: vaddr}
+	return o.blobVer[key], o.blobOut[key]
 }
 
 // --- snapshotting (for divergence reports) ---

@@ -63,23 +63,69 @@ func (env *Env) preempt() error {
 
 // --- Memory ---
 
+// ErrContextLost is the sentinel matched (errors.Is) by *ContextLost.
+var ErrContextLost = fmt.Errorf("sdk: enclave execution context lost")
+
+// ContextLost reports that the core left this enclave's execution context
+// mid-operation and was not resumed into it — the signature of a malicious
+// scheduler parking the thread or ERESUMEing it elsewhere. Without this
+// check the abort-page semantics would let trusted code keep computing on
+// 0xFF filler; with it, the operation surfaces a typed detection error
+// before any such value is returned. Non-transient: retrying on the same
+// poisoned context cannot succeed.
+type ContextLost struct {
+	Enclave string
+	Core    int
+}
+
+func (e *ContextLost) Error() string {
+	return fmt.Sprintf("sdk: core %d no longer executes enclave %s (malicious scheduling detected)", e.Core, e.Enclave)
+}
+
+func (e *ContextLost) Is(target error) bool { return target == ErrContextLost }
+
+// guardContext verifies, after a memory operation, that the core still
+// executes this environment's enclave. One pointer compare — nil-cost for
+// honest schedulers.
+func (env *Env) guardContext() error {
+	if env.C.Current() != env.E.secs {
+		return &ContextLost{Enclave: env.E.img.Name, Core: env.C.ID}
+	}
+	return nil
+}
+
 // Read reads n bytes of (virtual) memory through the access-validated path.
 // Reads of memory this enclave may not see return 0xFF bytes (abort-page
-// semantics), exactly like the hardware.
+// semantics), exactly like the hardware — but if the execution context
+// itself was torn down mid-read (wrong-core ERESUME), the data is withheld
+// and a typed *ContextLost detection error returned instead.
 func (env *Env) Read(v isa.VAddr, n int) ([]byte, error) {
 	if err := env.preempt(); err != nil {
 		return nil, err
 	}
-	return env.C.Read(v, n)
+	b, err := env.C.Read(v, n)
+	if err == nil {
+		if cerr := env.guardContext(); cerr != nil {
+			return nil, cerr
+		}
+	}
+	return b, err
 }
 
 // Write stores b at v through the access-validated path. Writes to memory
-// this enclave may not touch are silently dropped.
+// this enclave may not touch are silently dropped; a write whose execution
+// context was torn down mid-operation reports *ContextLost.
 func (env *Env) Write(v isa.VAddr, b []byte) error {
 	if err := env.preempt(); err != nil {
 		return err
 	}
-	return env.C.Write(v, b)
+	err := env.C.Write(v, b)
+	if err == nil {
+		if cerr := env.guardContext(); cerr != nil {
+			return cerr
+		}
+	}
+	return err
 }
 
 // Malloc allocates n bytes on the enclave's trusted heap.

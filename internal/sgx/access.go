@@ -23,6 +23,13 @@ const slowCoreStallCycles = 20000
 // was poisoned mid-storm); the core is then out of enclave mode and the
 // caller must propagate the fault.
 func (c *Core) maybeChaos() error {
+	// The adversarial scheduler hook runs first: a malicious kernel uses it to
+	// deliver *targeted* preemptions (AEX in a chosen critical window, ERESUME
+	// on a core of its choosing) rather than the random storms below. Nil-cost
+	// when unset — a single pointer load.
+	if h := c.m.Preempt; h != nil && c.inEnclave {
+		h(c)
+	}
 	inj := c.m.Chaos
 	if inj == nil {
 		return nil

@@ -109,11 +109,19 @@ type Machine struct {
 	// Version-array state for EPC paging freshness (see paging.go).
 	vaSlots    map[uint64]bool
 	vaSlotNext uint64
+	blobVer    map[blobKey]uint64 // monotonic eviction counter per (owner, vaddr)
 
 	// Chaos, when set, injects runtime faults at the machine's hook points
 	// (AEX storms, core stalls). Install with SetChaos before driving
 	// workloads; the field is read without the machine lock.
 	Chaos *chaos.Injector
+
+	// Preempt, when set, is the adversarial scheduler's interposition point:
+	// consulted (without the machine lock — AEX/EResume take it) before each
+	// access chunk on a core executing in enclave mode. A malicious kernel
+	// uses it for targeted AEX preemption and wrong-core ERESUME. Install
+	// before driving workloads; nil-cost when unset.
+	Preempt func(c *Core)
 
 	// poisoned marks enclaves whose protected memory failed MEE integrity
 	// verification (or whose trusted code crashed): entry and resumption

@@ -4,6 +4,7 @@ import (
 	"crypto/aes"
 	"crypto/cipher"
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"nestedenclave/internal/epc"
@@ -22,16 +23,53 @@ import (
 
 // EvictedPage is the encrypted blob EWB hands to the kernel for storage in
 // untrusted memory. Confidentiality, integrity and freshness are protected:
-// the content is sealed under a paging key with a one-time version slot, so
-// the kernel can neither read, modify, nor replay it.
+// the content is sealed under a paging key with a one-time version slot and a
+// per-(owner, vaddr) monotonic version counter, so the kernel can neither
+// read, modify, nor replay it — not even by presenting a stale blob of the
+// same page from an earlier eviction round.
 type EvictedPage struct {
-	Owner  isa.EID
-	Vaddr  isa.VAddr
-	Type   isa.PageType
-	Perms  isa.Perm
-	Slot   uint64 // version-array slot id (anti-replay)
-	Cipher []byte // AES-GCM(page content), nonce bound to Slot
+	Owner   isa.EID
+	Vaddr   isa.VAddr
+	Type    isa.PageType
+	Perms   isa.Perm
+	Slot    uint64 // version-array slot id (one-time, anti-replay)
+	Version uint64 // monotonic per-(owner, vaddr) eviction counter, bound into the AAD
+	Cipher  []byte // AES-GCM(page content), nonce bound to Slot
 }
+
+// blobKey identifies the version-counter lane of an evicted page: one
+// monotonic counter per (owner enclave, page base) pair.
+type blobKey struct {
+	owner isa.EID
+	vaddr isa.VAddr
+}
+
+// ErrBlobReplay is the sentinel all blob-freshness failures match via
+// errors.Is: the kernel presented a sealed EWB blob that is not the most
+// recent eviction of its page (a replay), or one whose one-time slot was
+// already consumed (a double load). It is a *detection* — the malicious input
+// was rejected before any stale data entered the EPC — and it is permanent:
+// retrying the same blob can never succeed.
+var ErrBlobReplay = errors.New("sgx: evicted-page blob replay detected")
+
+// BlobReplayError carries the freshness evidence for an ELDU rejection.
+type BlobReplayError struct {
+	Owner    isa.EID
+	Vaddr    isa.VAddr
+	Have     uint64 // version presented by the kernel
+	Want     uint64 // current counter for this (owner, vaddr)
+	Consumed bool   // true when the version matched but the one-time slot was spent
+}
+
+func (e *BlobReplayError) Error() string {
+	if e.Consumed {
+		return fmt.Sprintf("sgx: ELDU: blob for enclave %d vaddr %#x version %d already consumed (replay)", e.Owner, e.Vaddr, e.Have)
+	}
+	return fmt.Sprintf("sgx: ELDU: stale blob for enclave %d vaddr %#x: version %d, current is %d (replay)", e.Owner, e.Vaddr, e.Have, e.Want)
+}
+
+// Is makes errors.Is(err, ErrBlobReplay) true for every freshness rejection.
+func (e *BlobReplayError) Is(target error) bool { return target == ErrBlobReplay }
 
 // pagingAEAD builds the AEAD under the platform paging key.
 func (m *Machine) pagingAEAD() (cipher.AEAD, error) {
@@ -54,11 +92,12 @@ func pagingNonce(slot uint64) []byte {
 }
 
 func (p *EvictedPage) aad() []byte {
-	a := make([]byte, 8*4)
+	a := make([]byte, 8*5)
 	binary.LittleEndian.PutUint64(a[0:], uint64(p.Owner))
 	binary.LittleEndian.PutUint64(a[8:], uint64(p.Vaddr))
 	binary.LittleEndian.PutUint64(a[16:], uint64(p.Type))
 	binary.LittleEndian.PutUint64(a[24:], uint64(p.Perms))
+	binary.LittleEndian.PutUint64(a[32:], p.Version)
 	return a
 }
 
@@ -142,7 +181,12 @@ func (m *Machine) EWB(page int) (*EvictedPage, error) {
 	}
 	m.vaSlotNext++
 	slot := m.vaSlotNext
-	blob := &EvictedPage{Owner: ent.Owner, Vaddr: ent.Vaddr, Type: ent.Type, Perms: ent.Perms, Slot: slot}
+	if m.blobVer == nil {
+		m.blobVer = make(map[blobKey]uint64)
+	}
+	bk := blobKey{ent.Owner, ent.Vaddr}
+	m.blobVer[bk]++
+	blob := &EvictedPage{Owner: ent.Owner, Vaddr: ent.Vaddr, Type: ent.Type, Perms: ent.Perms, Slot: slot, Version: m.blobVer[bk]}
 	aead, err := m.pagingAEAD()
 	if err != nil {
 		return nil, err
@@ -166,13 +210,18 @@ func (m *Machine) EWB(page int) (*EvictedPage, error) {
 }
 
 // ELDU reloads an evicted page into a fresh EPC page, verifying integrity
-// and freshness (each blob loads at most once; replaying an old version
-// fails because its slot was consumed).
+// and freshness. Freshness is double-checked: the blob's monotonic version
+// must equal the current counter for its (owner, vaddr) lane, and its
+// one-time slot must be unspent. Either mismatch is a typed *BlobReplayError
+// (errors.Is ErrBlobReplay) — a detection verdict, not a generic fault.
 func (m *Machine) ELDU(blob *EvictedPage) (int, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if cur := m.blobVer[blobKey{blob.Owner, blob.Vaddr}]; blob.Version != cur {
+		return 0, &BlobReplayError{Owner: blob.Owner, Vaddr: blob.Vaddr, Have: blob.Version, Want: cur}
+	}
 	if !m.vaSlots[blob.Slot] {
-		return 0, isa.GP("ELDU: version slot %d invalid or already consumed (replay?)", blob.Slot)
+		return 0, &BlobReplayError{Owner: blob.Owner, Vaddr: blob.Vaddr, Have: blob.Version, Want: blob.Version, Consumed: true}
 	}
 	aead, err := m.pagingAEAD()
 	if err != nil {

@@ -45,8 +45,15 @@ type ExploreConfig struct {
 	MaxDepth   int
 	MultiOuter bool
 	// Alphabet is the reduced op set; nil selects DefaultAlphabet(2, 2) —
-	// the 2-core × 2-slot scope.
+	// the 2-core × 2-slot scope — or, with Adversarial set,
+	// AdversarialAlphabet(2, 2).
 	Alphabet []Op
+	// Adversarial switches the default alphabet to the adversarial-scheduler
+	// scope: the malicious-kernel ops (stale-blob replay, alongside the
+	// skipped-shootdown, remap and unmap attacks the default set already
+	// carries) are enumerated over ALL interleavings, so every small-scope
+	// attack placement is model-checked rather than spot-tested.
+	Adversarial bool
 	// DisablePOR turns off sleep-set partial-order reduction (for measuring
 	// its effect; the covered state space is identical).
 	DisablePOR bool
@@ -178,6 +185,20 @@ func DefaultAlphabet(cores, slots int) []Op {
 	return a
 }
 
+// AdversarialAlphabet is DefaultAlphabet plus the malicious-kernel ops that
+// need attack state: a stale-blob replay per slot (OpEvict with B&0x40 —
+// ELDU fed the previously consumed capture of the page, diffed against the
+// oracle's freshness ledger). Replays are no-ops until an eviction round
+// trip has produced a capture, so they compose with the eviction ops already
+// in the alphabet.
+func AdversarialAlphabet(cores, slots int) []Op {
+	a := DefaultAlphabet(cores, slots)
+	for s := 0; s < slots; s++ {
+		a = append(a, Op{Kind: OpEvict, Slot: uint8(s), B: 0x40})
+	}
+	return a
+}
+
 type explorer struct {
 	cfg      ExploreConfig
 	alphabet []Op
@@ -242,7 +263,11 @@ func Explore(cfg ExploreConfig) (*ExploreStats, *Counterexample) {
 	e := &explorer{cfg: cfg, alphabet: cfg.Alphabet,
 		memo: map[uint64][]memoEntry{}, seen: map[uint64]bool{}}
 	if e.alphabet == nil {
-		e.alphabet = DefaultAlphabet(2, 2)
+		if cfg.Adversarial {
+			e.alphabet = AdversarialAlphabet(2, 2)
+		} else {
+			e.alphabet = DefaultAlphabet(2, 2)
+		}
 	}
 	if len(e.alphabet) > 64 {
 		// Sleep sets are uint64 bitmasks; the reduced alphabets this scope

@@ -130,3 +130,28 @@ func TestExploreTruncation(t *testing.T) {
 		t.Fatalf("transition cap overshot: %d > 200", stats.Transitions)
 	}
 }
+
+// TestAdversarialExploreSmoke enumerates the adversarial-scheduler scope: the
+// default alphabet plus the malicious-kernel ops (IPI-suppressed evictions,
+// stale-blob replays). Every interleaving a lying kernel can schedule at this
+// depth must still lockstep with the oracle and audit clean — the explorer
+// side of the defend-or-detect contract.
+func TestAdversarialExploreSmoke(t *testing.T) {
+	depth := 4
+	if testing.Short() {
+		depth = 3
+	}
+	stats, ce := Explore(ExploreConfig{Depth: depth, MaxDepth: 2, Adversarial: true})
+	if ce != nil {
+		t.Fatalf("adversarial pass at depth %d found a divergence:\n%s", depth, ce)
+	}
+	if stats.Truncated {
+		t.Fatalf("adversarial smoke run truncated: %s", stats.StatsLine())
+	}
+	plain, _ := Explore(ExploreConfig{Depth: depth, MaxDepth: 2})
+	if stats.Transitions <= plain.Transitions {
+		t.Errorf("adversarial alphabet added no transitions (%d vs %d) — the malicious ops are inert",
+			stats.Transitions, plain.Transitions)
+	}
+	t.Logf("adversarial depth %d: %s", depth, stats.StatsLine())
+}

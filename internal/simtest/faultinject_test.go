@@ -8,6 +8,7 @@ package simtest
 // *catches* what the machine gets wrong.
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -425,8 +426,9 @@ func TestStaleTLBInjectionCaughtByAudit(t *testing.T) {
 }
 
 // TestELDUReplayDenied evicts a page and then replays its sealed blob: the
-// first reload must succeed, the second must fail the version-slot freshness
-// check (#GP) — the kernel cannot roll an enclave page back.
+// first reload must succeed, the second must fail the freshness check with
+// the typed ErrBlobReplay detection — the kernel cannot roll an enclave page
+// back, and the rejection is distinguishable from a generic integrity fault.
 func TestELDUReplayDenied(t *testing.T) {
 	r := NewRunner(2, false)
 	ops := []Op{
@@ -444,8 +446,8 @@ func TestELDUReplayDenied(t *testing.T) {
 	if _, err := m.ELDU(blob); err != nil {
 		t.Fatalf("first ELDU: %v", err)
 	}
-	if _, err := m.ELDU(blob); !isa.IsFault(err, isa.FaultGP) {
-		t.Fatalf("replayed ELDU: got %v, want #GP (version slot consumed)", err)
+	if _, err := m.ELDU(blob); !errors.Is(err, sgx.ErrBlobReplay) {
+		t.Fatalf("replayed ELDU: got %v, want ErrBlobReplay", err)
 	}
 }
 

@@ -14,7 +14,9 @@ import "testing"
 // 4-core × 4-slot space, so the pairs are exercised from states richer than
 // the explorer's own 2×2 scope reaches.
 func TestPORCommutativity(t *testing.T) {
-	alphabet := DefaultAlphabet(2, 2)
+	// The adversarial alphabet is the superset (default + malicious-kernel
+	// replay ops), so its claims cover the plain scope too.
+	alphabet := AdversarialAlphabet(2, 2)
 	pool := NewRunner(2, false).pool
 	indep := independenceMatrix(alphabet, pool)
 

@@ -86,6 +86,26 @@ var regressions = []Schedule{
 			{Kind: OpEvict, Slot: 0, A: 0},          // with IPIs: succeeds
 		},
 	},
+	// Dropped shootdown with a cross-core reader (promoted from the
+	// adversarial-kernel campaign's drop_shootdown strategy): core 1 holds a
+	// warm TLB entry when the kernel suppresses the ETRACK IPIs, so EWB must
+	// refuse (#GP both sides) and the stale entry keeps serving CORRECT data
+	// — the defended window. The per-step invariant audit then polices the
+	// delivered-shootdown eviction, the #PF, and the ELDU round trip.
+	{
+		Seed: -1, MaxDepth: 2, MultiOuter: false,
+		Ops: []Op{
+			{Kind: OpBuild, Slot: 0},
+			{Kind: OpEnter, Core: 1, Slot: 0},
+			{Kind: OpRead, Core: 1, A: 0},           // warm the cross-core TLB
+			{Kind: OpEvict, Slot: 0, A: 0, B: 0x80}, // IPIs suppressed: EWB refuses
+			{Kind: OpRead, Core: 1, A: 0},           // stale entry still serves, data intact
+			{Kind: OpEvict, Slot: 0, A: 0},          // IPIs delivered: succeeds
+			{Kind: OpRead, Core: 1, A: 0},           // evicted: #PF both sides
+			{Kind: OpEvict, Slot: 0, A: 0},          // reload via ELDU
+			{Kind: OpRead, Core: 1, A: 0},           // revalidated
+		},
+	},
 	// ELRANGE overlap: slots 2 and 3 overlap, so this NASSO must be rejected
 	// identically by machine and oracle, and subsequent accesses through the
 	// aliased page table must abort on the EPCM owner check.

@@ -2,6 +2,7 @@ package simtest
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"slices"
 	"sync"
@@ -127,6 +128,11 @@ type Runner struct {
 	slots [NumSlots]slotState
 	// blobs holds pages currently swapped out, keyed by virtual page base.
 	blobs map[isa.VAddr]*sgx.EvictedPage
+	// stale holds, per page, the most recent *consumed* blob — the capture a
+	// malicious kernel would replay. Fed by the reload path, drained never:
+	// the adversarial replay op (OpEvict with B&0x40) presents it to ELDU and
+	// diffs the refusal against the oracle's freshness ledger.
+	stale map[isa.VAddr]*sgx.EvictedPage
 
 	// pool is the fixed virtual-address pool access and remap ops draw from.
 	pool []isa.VAddr
@@ -146,7 +152,11 @@ func NewRunner(maxDepth int, multiOuter bool) *Runner {
 		Cores: machineCores, PRMBase: prmBase, PRMSize: prmSize,
 		MaxDepth: maxDepth, MultiOuter: multiOuter,
 	})
-	r := &Runner{m: m, ext: ext, o: o, pt: pt.New(), blobs: make(map[isa.VAddr]*sgx.EvictedPage)}
+	r := &Runner{
+		m: m, ext: ext, o: o, pt: pt.New(),
+		blobs: make(map[isa.VAddr]*sgx.EvictedPage),
+		stale: make(map[isa.VAddr]*sgx.EvictedPage),
+	}
 	for _, c := range m.Cores() {
 		c.PT = r.pt
 	}
@@ -185,6 +195,10 @@ func (r *Runner) Slot(i int) *sgx.SECS { return r.slots[i].secs }
 
 // Blob returns the sealed blob of an evicted page, if v is currently out.
 func (r *Runner) Blob(v isa.VAddr) *sgx.EvictedPage { return r.blobs[v.PageBase()] }
+
+// StaleBlob returns the most recent consumed blob of v — the capture the
+// adversarial replay op presents to ELDU — or nil if never reloaded.
+func (r *Runner) StaleBlob(v isa.VAddr) *sgx.EvictedPage { return r.stale[v.PageBase()] }
 
 // SetValidator swaps the machine's access validator — the hook the
 // injected-bug self-test uses to prove the harness catches a broken Figure-6
@@ -238,7 +252,9 @@ func (r *Runner) Step(op Op) error {
 	return r.AuditInvariants()
 }
 
-// classify maps a machine error to the oracle's verdict space.
+// classify maps a machine error to the oracle's verdict space. The typed
+// blob-replay detection folds into VGP: architecturally it is a refused
+// instruction, and the oracle's freshness ledger predicts exactly VGP for it.
 func classify(err error) (model.Verdict, bool) {
 	switch {
 	case err == nil:
@@ -246,6 +262,8 @@ func classify(err error) (model.Verdict, bool) {
 	case isa.IsFault(err, isa.FaultPF):
 		return model.VPF, true
 	case isa.IsFault(err, isa.FaultGP):
+		return model.VGP, true
+	case errors.Is(err, sgx.ErrBlobReplay):
 		return model.VGP, true
 	}
 	return 0, false
@@ -520,7 +538,9 @@ func (r *Runner) accessFetch(coreID int, op Op) error {
 // evict runs the full eviction protocol on slot's data page A%3, or reloads
 // it if currently swapped out. B's top bit injects the skipped-shootdown
 // fault; the machine's EWB and the oracle must then both refuse while any
-// TLB still maps the page.
+// TLB still maps the page. B&0x40 is the adversarial-kernel replay op: the
+// most recent consumed blob of the page is presented to ELDU again, and the
+// machine's refusal is diffed against the oracle's freshness ledger.
 func (r *Runner) evict(slot int, op Op) error {
 	st := r.slots[slot]
 	if st.secs == nil {
@@ -528,14 +548,29 @@ func (r *Runner) evict(slot int, op Op) error {
 	}
 	target := dataVaddr(slot, int(op.A)%dataPages)
 
+	if op.B&0x40 != 0 {
+		stale := r.stale[target]
+		if stale == nil {
+			return nil // nothing captured yet: the attack has no ammunition
+		}
+		page, err := r.m.ELDU(stale)
+		idx := page
+		if err != nil {
+			idx = -1
+		}
+		want := r.o.ELD(stale.Owner, idx, uint64(stale.Vaddr), stale.Type, stale.Perms, stale.Version)
+		return diffVerdict(fmt.Sprintf("ELDU-replay slot%d %#x ver%d", slot, uint64(target), stale.Version), err, want)
+	}
+
 	if blob, out := r.blobs[target]; out {
 		page, err := r.m.ELDU(blob)
 		if err != nil {
 			return fmt.Errorf("ELDU %#x: %v", uint64(target), err)
 		}
-		if got := r.o.ELD(blob.Owner, page, uint64(blob.Vaddr), blob.Type, blob.Perms); got != model.VOK {
+		if got := r.o.ELD(blob.Owner, page, uint64(blob.Vaddr), blob.Type, blob.Perms, blob.Version); got != model.VOK {
 			return fmt.Errorf("ELDU %#x: oracle rejects reload: %v", uint64(target), got)
 		}
+		r.stale[target] = blob // consumed: exactly what a replaying kernel would hoard
 		delete(r.blobs, target)
 		r.pt.Map(target, r.m.EPC.AddrOf(page), isa.PermRW)
 		return nil
@@ -762,6 +797,18 @@ func (r *Runner) Fingerprint() uint64 {
 	slices.Sort(outVaddrs)
 	for _, v := range outVaddrs {
 		b = appendU64(b, v)
+	}
+	// Stale-blob captures gate whether the adversarial replay op has
+	// ammunition, so two states differing only in captures must explore
+	// separately.
+	staleVaddrs := make([]uint64, 0, len(r.stale))
+	for v := range r.stale {
+		staleVaddrs = append(staleVaddrs, uint64(v))
+	}
+	slices.Sort(staleVaddrs)
+	for _, v := range staleVaddrs {
+		b = appendU64(b, v)
+		b = appendU64(b, r.stale[isa.VAddr(v)].Version)
 	}
 	for slot := 0; slot < NumSlots; slot++ {
 		b = appendU64(b, uint64(r.slots[slot].eid))

@@ -47,21 +47,23 @@ fmt-check:
 race:
 	$(GO) test -race ./...
 
-tier2: vet fmt-check lint perf-gate modelcheck-smoke adversary-smoke
+tier2: vet fmt-check lint perf-gate modelcheck-smoke adversary-smoke bench
 	$(GO) test -race ./...
 
-# perf-gate re-runs the headline experiments (table2, sqlservice, mlservice)
-# and compares their simulated-cycle metrics — histogram means/counts, walk
-# and paging counters, total cycles — against the committed baselines/
-# snapshots. Gated metrics are deterministic functions of the cost model and
-# workloads, so the default 5% tolerance is pure headroom for intentional
-# drift; regenerate baselines with `make baselines` when a cost-model change
-# is deliberate (see EXPERIMENTS.md).
+# perf-gate re-runs the headline experiments (table2, sqlservice, mlservice,
+# switchless) and compares their simulated-cycle metrics — histogram
+# means/counts, walk and paging counters, total cycles, and the gated extras
+# (per-op ocall cycles on both paths, allocations per nested walk, ring
+# occupancy) — against the committed baselines/ snapshots. Gated metrics are
+# deterministic functions of the cost model and workloads, so the default 5%
+# tolerance is pure headroom for intentional drift; regenerate baselines with
+# `make baselines` when a cost-model change is deliberate (see
+# EXPERIMENTS.md).
 perf-gate:
 	$(GO) run ./cmd/repro -gate baselines
 
 baselines:
-	$(GO) run ./cmd/repro -only table2,sqlservice,mlservice -json baselines
+	$(GO) run ./cmd/repro -only table2,sqlservice,mlservice,switchless -json baselines
 
 tier3:
 	$(GO) vet ./...
@@ -123,8 +125,12 @@ adversary:
 adversary-smoke:
 	$(GO) test ./internal/bench -run 'TestAttackCampaign$$|TestAttackReplayDeterminism$$' -count=1 -v
 
+# bench runs the paper-experiment benchmarks (root package) once each, and
+# the transition-path microbenchmarks (internal/bench: ECall, OCall, NECall,
+# PageWalk, SwitchlessOCall) with ns/op and allocs/op reporting.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test -bench='ECall|OCall|PageWalk' -benchtime=200x -run=^$$ ./internal/bench
 
 clean:
 	$(GO) clean ./...

@@ -167,6 +167,18 @@ func experiments() []experiment {
 			fmt.Println(bench.RenderFigure11(rows))
 			return nil
 		}},
+		{"switchless", "switchless vs synchronous hot ocall", func(full bool) error {
+			iters := 2000
+			if full {
+				iters = 50_000
+			}
+			res, err := bench.Switchless(iters)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderSwitchless(res))
+			return nil
+		}},
 		{"ablation", "design-choice ablations", func(full bool) error {
 			iters := 20_000
 			if !full {
@@ -210,7 +222,7 @@ func writeSnapshot(dir string, snap *bench.ExperimentSnapshot) error {
 
 // gateExperiments names the headline experiments with committed baselines;
 // `repro -gate <dir>` re-runs exactly these.
-var gateExperiments = []string{"table2", "sqlservice", "mlservice"}
+var gateExperiments = []string{"table2", "sqlservice", "mlservice", "switchless"}
 
 // runGate is the -gate mode: re-run the headline experiments and compare
 // their cycle-derived metrics against the BENCH_<name>.json baselines in

@@ -29,7 +29,7 @@ var SpanPair = &Analyzer{
 // spans around transitions, walks, and paging. trace itself (the
 // implementation), channel (its helper hands SpanRefs to callers), and tests
 // are out of scope.
-var spanPairPkgs = []string{"internal/sdk", "internal/sgx", "internal/core"}
+var spanPairPkgs = []string{"internal/sdk", "internal/sgx", "internal/core", "internal/switchless"}
 
 func runSpanPair(p *Pass) {
 	if !pathMatchesAny(p.Pkg.Path, spanPairPkgs) {

@@ -48,6 +48,9 @@ func GateMetrics(s *ExperimentSnapshot) map[string]float64 {
 			m["counter."+c] = float64(v)
 		}
 	}
+	for k, v := range s.Extra {
+		m["extra."+k] = v
+	}
 	return m
 }
 

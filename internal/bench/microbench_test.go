@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"testing"
+
+	"nestedenclave/internal/isa"
+	"nestedenclave/internal/sdk"
+	"nestedenclave/internal/switchless"
+)
+
+// Transition-path microbenchmarks (`make bench`): ns/op and allocs/op for
+// each call primitive. The simulated-cycle costs are gated elsewhere (the
+// switchless experiment); these catch host-side overhead and allocation
+// regressions in the SDK marshalling and transition plumbing.
+
+type microRig struct {
+	r            *Rig
+	inner, outer *sdk.Enclave
+	loops        int // read by the loop ecalls
+}
+
+func newMicroRig(b *testing.B) *microRig {
+	b.Helper()
+	mr := &microRig{}
+	r, err := NewRig(SmallMachine())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mr.r = r
+	outerImg := sdk.NewImage("mb-outer", 0x2000_0000, sdk.DefaultLayout())
+	innerImg := sdk.NewImage("mb-inner", 0x1000_0000, sdk.DefaultLayout())
+	outerImg.AllowOCall("mb_noop")
+	outerImg.AllowSwitchless("mb_fast")
+	payload := make([]byte, 64)
+	innerImg.RegisterECall("noop", func(env *sdk.Env, args []byte) ([]byte, error) {
+		return payload, nil
+	})
+	outerImg.RegisterECall("noop", func(env *sdk.Env, args []byte) ([]byte, error) {
+		return payload, nil
+	})
+	outerImg.RegisterECall("ocall_loop", func(env *sdk.Env, args []byte) ([]byte, error) {
+		for i := 0; i < mr.loops; i++ {
+			if _, err := env.OCall("mb_noop", payload); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
+	outerImg.RegisterECall("sw_loop", func(env *sdk.Env, args []byte) ([]byte, error) {
+		for i := 0; i < mr.loops; i++ {
+			if _, err := env.OCallAsync("mb_fast", payload); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
+	outerImg.RegisterECall("necall_loop", func(env *sdk.Env, args []byte) ([]byte, error) {
+		inner := env.E.Inners()[0]
+		for i := 0; i < mr.loops; i++ {
+			if _, err := env.NECall(inner, "noop", payload); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
+	r.Host.RegisterOCall("mb_noop", func(args []byte) ([]byte, error) { return payload, nil })
+	r.Host.RegisterOCall("mb_fast", func(args []byte) ([]byte, error) { return payload, nil })
+	if mr.inner, mr.outer, err = r.LoadPair(innerImg, outerImg); err != nil {
+		b.Fatal(err)
+	}
+	return mr
+}
+
+// runLoop drives one of the loop ecalls with b.N iterations inside a single
+// enclave entry, so per-op numbers reflect the op, not the entry.
+func (mr *microRig) runLoop(b *testing.B, name string) {
+	mr.loops = b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := mr.outer.ECall(name, nil); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkECall(b *testing.B) {
+	mr := newMicroRig(b)
+	args := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mr.outer.ECall("noop", args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOCall(b *testing.B) {
+	newMicroRig(b).runLoop(b, "ocall_loop")
+}
+
+func BenchmarkNECall(b *testing.B) {
+	newMicroRig(b).runLoop(b, "necall_loop")
+}
+
+func BenchmarkSwitchlessOCall(b *testing.B) {
+	mr := newMicroRig(b)
+	mr.r.Host.StartSwitchless(switchless.Config{})
+	defer mr.r.Host.StopSwitchless()
+	mr.runLoop(b, "sw_loop")
+}
+
+func BenchmarkPageWalk(b *testing.B) {
+	mr := newMicroRig(b)
+	r := mr.r
+	c := r.M.Core(0)
+	if err := r.K.Schedule(c, r.Host.Proc); err != nil {
+		b.Fatal(err)
+	}
+	uv, err := r.Host.Proc.Mmap(1, isa.PermRW)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := mr.inner.SECS()
+	if err := r.M.EEnter(c, s, s.TCSs()[0].Vaddr, false); err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]byte, 8)
+	if err := c.ReadInto(uv, dst); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.TLB.FlushVPN(uint64(uv) >> isa.PageShift)
+		if err := c.ReadInto(uv, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := r.M.EExit(c, true); err != nil {
+		b.Fatal(err)
+	}
+}

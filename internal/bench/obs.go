@@ -30,6 +30,11 @@ type ExperimentSnapshot struct {
 	PerEnclave map[string]map[string]int64 `json:"per_enclave,omitempty"`
 	// Histograms holds merged latency histograms keyed by operation name.
 	Histograms map[string]HistogramJSON `json:"histograms,omitempty"`
+	// Extra holds experiment-specific scalar metrics recorded via
+	// RecordExtra — derived quantities (per-op cycles, allocations per walk,
+	// ring occupancy) that the counter merge cannot compute. The perf gate
+	// compares them like any other metric.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // HistogramJSON is the persisted form of a latency histogram: sample count,
@@ -46,8 +51,9 @@ type HistogramJSON struct {
 // expScope accumulates the recorders of every Rig booted between
 // BeginExperiment and EndExperiment.
 type expScope struct {
-	name string
-	recs []*trace.Recorder
+	name  string
+	recs  []*trace.Recorder
+	extra map[string]float64
 }
 
 var (
@@ -65,6 +71,22 @@ func BeginExperiment(name string) {
 	obsMu.Lock()
 	defer obsMu.Unlock()
 	curScope = &expScope{name: name}
+}
+
+// RecordExtra attaches an experiment-specific scalar metric to the open
+// scope; it lands in the snapshot's Extra map (and thus under the perf
+// gate). No-op when no scope is open, so experiments can record
+// unconditionally.
+func RecordExtra(name string, v float64) {
+	obsMu.Lock()
+	defer obsMu.Unlock()
+	if curScope == nil {
+		return
+	}
+	if curScope.extra == nil {
+		curScope.extra = map[string]float64{}
+	}
+	curScope.extra[name] = v
 }
 
 // registerRecorder attaches a freshly booted rig's recorder to the open
@@ -92,6 +114,7 @@ func EndExperiment() *ExperimentSnapshot {
 		Name:     scope.name,
 		Rigs:     len(scope.recs),
 		Counters: map[string]int64{},
+		Extra:    scope.extra,
 	}
 	type histAcc struct {
 		count, sum int64

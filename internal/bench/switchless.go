@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"nestedenclave/internal/isa"
+	"nestedenclave/internal/sdk"
+	"nestedenclave/internal/switchless"
+	"nestedenclave/internal/trace"
+)
+
+// This file is the switchless-transition experiment: the Occlum-style
+// asynchronous ocall engine versus the synchronous EEXIT+EENTER(resume)
+// path, on the same hot no-op handler. It also measures the access-path
+// allocation work per nested page walk and the engine's ring behaviour, and
+// records all of it as gated extras so `repro -gate` catches a regression in
+// any of the three.
+
+// SwitchlessResult is the experiment's outcome.
+type SwitchlessResult struct {
+	Iters int
+	// SyncCyclesPerOp / SwitchlessCyclesPerOp are simulated cycles per hot
+	// ocall on each path, including the amortized enclave entry around the
+	// loop.
+	SyncCyclesPerOp       float64
+	SwitchlessCyclesPerOp float64
+	// ReductionPct is the cycle reduction of the switchless path.
+	ReductionPct float64
+	// WalkAllocsPerOp is host allocations per TLB-missing nested (path C)
+	// access — the quantity the cached outer-closure drives to zero.
+	WalkAllocsPerOp float64
+	// RingOccupancy and Fallbacks are the engine's lifetime stats for the
+	// run: with one caller awaiting each request, occupancy stays at 1 and
+	// no request falls back.
+	RingOccupancy int64
+	Fallbacks     int64
+}
+
+// Switchless runs the comparison with iters hot ocalls per path.
+func Switchless(iters int) (*SwitchlessResult, error) {
+	if iters <= 0 {
+		iters = 2000
+	}
+	r, err := NewRig(SmallMachine())
+	if err != nil {
+		return nil, err
+	}
+
+	outerImg := sdk.NewImage("sw-outer", 0x2000_0000, sdk.DefaultLayout())
+	innerImg := sdk.NewImage("sw-inner", 0x1000_0000, sdk.DefaultLayout())
+	outerImg.AllowOCall("sw_hot")
+	outerImg.AllowSwitchless("sw_fast")
+	outerImg.RegisterECall("sync_loop", func(env *sdk.Env, args []byte) ([]byte, error) {
+		for i := 0; i < iters; i++ {
+			if _, err := env.OCall("sw_hot", nil); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
+	outerImg.RegisterECall("sw_loop", func(env *sdk.Env, args []byte) ([]byte, error) {
+		for i := 0; i < iters; i++ {
+			if _, err := env.OCallAsync("sw_fast", nil); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
+	noop := func(args []byte) ([]byte, error) { return nil, nil }
+	r.Host.RegisterOCall("sw_hot", noop)
+	r.Host.RegisterOCall("sw_fast", noop)
+
+	inner, outer, err := r.LoadPair(innerImg, outerImg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SwitchlessResult{Iters: iters}
+
+	// Access-path probe first, with no engine goroutines running: host
+	// allocations per TLB-missing unsecure read from the inner enclave (the
+	// Figure-6 path that consults the outer closure on every walk).
+	res.WalkAllocsPerOp, err = measureNestedWalkAllocs(r, inner, 5000)
+	if err != nil {
+		return nil, err
+	}
+
+	rec := r.M.Rec
+	start := rec.Cycles()
+	if _, err := outer.ECall("sync_loop", nil); err != nil {
+		return nil, err
+	}
+	res.SyncCyclesPerOp = float64(rec.Cycles()-start) / float64(iters)
+
+	eng := r.Host.StartSwitchless(switchless.Config{})
+	start = rec.Cycles()
+	if _, err := outer.ECall("sw_loop", nil); err != nil {
+		return nil, err
+	}
+	res.SwitchlessCyclesPerOp = float64(rec.Cycles()-start) / float64(iters)
+	r.Host.StopSwitchless()
+	st := eng.Stats()
+	res.RingOccupancy = st.MaxOccupancy
+	res.Fallbacks = st.Fallbacks
+	if st.Completed != int64(iters) {
+		return nil, fmt.Errorf("switchless: %d of %d requests completed through the ring", st.Completed, iters)
+	}
+	res.ReductionPct = 100 * (1 - res.SwitchlessCyclesPerOp/res.SyncCyclesPerOp)
+
+	// Gated extras. The alloc metric carries a +1 offset so its baseline is
+	// never zero — the gate cannot ratio against a zero base, and the
+	// expected steady state IS zero allocations per walk.
+	RecordExtra("sync_ocall_cycles_per_op", res.SyncCyclesPerOp)
+	RecordExtra("switchless_ocall_cycles_per_op", res.SwitchlessCyclesPerOp)
+	RecordExtra("walk_allocs_per_op_plus1", 1+res.WalkAllocsPerOp)
+	RecordExtra("switchless_ring_occupancy", float64(res.RingOccupancy))
+	return res, nil
+}
+
+// measureNestedWalkAllocs counts host heap allocations per TLB-missing read
+// of unsecure memory from inside the inner enclave — every iteration runs
+// the full page walk plus the Figure-6 validator's outer-closure branch.
+func measureNestedWalkAllocs(r *Rig, inner *sdk.Enclave, n int) (float64, error) {
+	c := r.M.Core(0)
+	if err := r.K.Schedule(c, r.Host.Proc); err != nil {
+		return 0, err
+	}
+	uv, err := r.Host.Proc.Mmap(1, isa.PermRW)
+	if err != nil {
+		return 0, err
+	}
+	s := inner.SECS()
+	if err := r.M.EEnter(c, s, s.TCSs()[0].Vaddr, false); err != nil {
+		return 0, err
+	}
+	dst := make([]byte, 8)
+	// Warm the page table, the TLB-fill path, and the outer-closure cache so
+	// the loop measures steady state.
+	if err := c.ReadInto(uv, dst); err != nil {
+		return 0, err
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < n; i++ {
+		c.TLB.FlushVPN(uint64(uv) >> isa.PageShift)
+		if err := c.ReadInto(uv, dst); err != nil {
+			return 0, err
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	if err := r.M.EExit(c, true); err != nil {
+		return 0, err
+	}
+	return float64(m1.Mallocs-m0.Mallocs) / float64(n), nil
+}
+
+// RenderSwitchless formats the result.
+func RenderSwitchless(res *SwitchlessResult) *Table {
+	t := &Table{
+		Title:   "Switchless transitions — async ring vs synchronous hot ocall",
+		Headers: []string{"Metric", "Value"},
+		Notes: []string{
+			fmt.Sprintf("%d hot ocalls per path; cycles are simulated", res.Iters),
+			fmt.Sprintf("sync pays EEXIT(%d)+EENTER-resume(%d) per call; switchless pays ring submit(%d)+service(%d)",
+				trace.CostEEXIT, trace.CostEENTERResume, trace.CostRingSubmit, trace.CostRingService),
+		},
+	}
+	t.AddRow("sync ocall (cycles/op)", f2(res.SyncCyclesPerOp))
+	t.AddRow("switchless ocall (cycles/op)", f2(res.SwitchlessCyclesPerOp))
+	t.AddRow("cycle reduction", f2(res.ReductionPct)+"%")
+	t.AddRow("nested walk allocs/op", f2(res.WalkAllocsPerOp))
+	t.AddRow("peak ring occupancy", fmt.Sprintf("%d", res.RingOccupancy))
+	t.AddRow("fallbacks to sync", fmt.Sprintf("%d", res.Fallbacks))
+	return t
+}

@@ -12,6 +12,7 @@ package cache
 
 import (
 	"fmt"
+	"sync"
 
 	"nestedenclave/internal/isa"
 	"nestedenclave/internal/trace"
@@ -46,9 +47,14 @@ type Config struct {
 // DefaultConfig models the 8 MiB 16-way LLC of the paper's i7-7700 testbed.
 func DefaultConfig() Config { return Config{SizeBytes: 8 << 20, Ways: 16} }
 
-// Cache is a set-associative write-back LLC. Not safe for concurrent use;
-// the machine serializes memory operations.
+// Cache is a set-associative write-back LLC. Safe for concurrent use: the
+// machine's data-access path runs under a shared (read) lock so cores
+// translate in parallel, and the cache — the one mutable structure on that
+// path — serializes line operations internally. The MEE backend is only
+// reachable through here or under the machine's exclusive lock, so the
+// internal mutex covers it too.
 type Cache struct {
+	mu      sync.Mutex
 	backend Backend
 	rec     *trace.Recorder
 	sets    [][]line
@@ -56,7 +62,7 @@ type Cache struct {
 	tick    uint64
 
 	// Enabled can be cleared to model an uncached (write-through to MEE)
-	// path; used by ablation benches.
+	// path; used by ablation benches. Set before workloads run.
 	Enabled bool
 }
 
@@ -192,6 +198,26 @@ func (c *Cache) Read(p isa.PAddr, n int) ([]byte, error) {
 
 // ReadInto fills dst from physical address p through the cache.
 func (c *Cache) ReadInto(p isa.PAddr, dst []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readIntoLocked(p, dst)
+}
+
+// ReadIntoFor is ReadInto with the billing context set atomically with the
+// line operations: the hit/miss and MEE charges bill to eid and parent under
+// the span, even while other cores drive the cache concurrently. This is the
+// read-locked access path's entry point.
+func (c *Cache) ReadIntoFor(p isa.PAddr, dst []byte, eid uint64, span uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rec != nil {
+		c.rec.SetBillHint(eid)
+		c.rec.SetSpanHint(span)
+	}
+	return c.readIntoLocked(p, dst)
+}
+
+func (c *Cache) readIntoLocked(p isa.PAddr, dst []byte) error {
 	for off := 0; off < len(dst); {
 		cur := p + isa.PAddr(off)
 		l, err := c.access(cur, false)
@@ -207,6 +233,24 @@ func (c *Cache) ReadInto(p isa.PAddr, dst []byte) error {
 
 // Write stores b at physical address p through the cache.
 func (c *Cache) Write(p isa.PAddr, b []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writeLocked(p, b)
+}
+
+// WriteFor is Write with the billing context set atomically with the line
+// operations (see ReadIntoFor).
+func (c *Cache) WriteFor(p isa.PAddr, b []byte, eid uint64, span uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rec != nil {
+		c.rec.SetBillHint(eid)
+		c.rec.SetSpanHint(span)
+	}
+	return c.writeLocked(p, b)
+}
+
+func (c *Cache) writeLocked(p isa.PAddr, b []byte) error {
 	for off := 0; off < len(b); {
 		cur := p + isa.PAddr(off)
 		l, err := c.access(cur, true)
@@ -228,6 +272,8 @@ func (c *Cache) Write(p isa.PAddr, b []byte) error {
 
 // FlushAll writes back every dirty line and invalidates the cache (WBINVD).
 func (c *Cache) FlushAll() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for si := range c.sets {
 		for wi := range c.sets[si] {
 			l := &c.sets[si][wi]
@@ -245,8 +291,13 @@ func (c *Cache) FlushAll() error {
 
 // FlushLine writes back and invalidates the line containing p (CLFLUSH).
 func (c *Cache) FlushLine(p isa.PAddr) error {
-	idx := uint64(p) >> isa.LineShift
-	l := c.lookup(idx)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLineLocked(p)
+}
+
+func (c *Cache) flushLineLocked(p isa.PAddr) error {
+	l := c.lookup(uint64(p) >> isa.LineShift)
 	if l == nil {
 		return nil
 	}
@@ -264,6 +315,8 @@ func (c *Cache) FlushLine(p isa.PAddr) error {
 // dirty data back — the path used when the underlying page is being
 // destroyed and its contents must not be recreated in DRAM.
 func (c *Cache) InvalidateRange(p isa.PAddr, n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for cur := p.LineBase(); cur < p+isa.PAddr(n); cur += isa.LineSize {
 		if l := c.lookup(uint64(cur) >> isa.LineShift); l != nil {
 			l.valid = false
@@ -274,8 +327,10 @@ func (c *Cache) InvalidateRange(p isa.PAddr, n int) {
 
 // FlushRange flushes every line overlapping [p, p+n).
 func (c *Cache) FlushRange(p isa.PAddr, n int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for cur := p.LineBase(); cur < p+isa.PAddr(n); cur += isa.LineSize {
-		if err := c.FlushLine(cur); err != nil {
+		if err := c.flushLineLocked(cur); err != nil {
 			return err
 		}
 	}
@@ -284,6 +339,8 @@ func (c *Cache) FlushRange(p isa.PAddr, n int) error {
 
 // Stats reports occupancy for tests.
 func (c *Cache) Stats() (validLines, dirtyLines int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for si := range c.sets {
 		for wi := range c.sets[si] {
 			if c.sets[si][wi].valid {

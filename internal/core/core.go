@@ -68,9 +68,22 @@ func (e *Extension) Config() Config { return e.cfg }
 // guarded. With the base single-outer configuration this is a simple chain;
 // with the lattice extension it is a DAG traversal.
 //
-// Must run with the machine lock held (it is called from the validator and
-// from Atomically sections).
+// This sits on the page-walk hot path (the Figure-6 validator consults it on
+// every nested-relevant TLB miss), so the common cases are allocation-free:
+// a non-inner enclave returns nil immediately, and an inner enclave reuses a
+// closure cached on its SECS until the association graph changes (NASSO or
+// EREMOVE bump the machine's association epoch).
+//
+// Must run with the machine lock held, at least shared (it is called from
+// the validator and from Atomically sections).
 func outerChain(m *sgx.Machine, s *sgx.SECS) []*sgx.SECS {
+	if len(s.Nested.OuterEIDs) == 0 {
+		return nil
+	}
+	epoch := m.AssocEpoch()
+	if chain, ok := s.CachedOuterChain(epoch); ok {
+		return chain
+	}
 	var out []*sgx.SECS
 	seen := map[isa.EID]bool{s.EID: true}
 	frontier := []*sgx.SECS{s}
@@ -90,6 +103,7 @@ func outerChain(m *sgx.Machine, s *sgx.SECS) []*sgx.SECS {
 			frontier = append(frontier, o)
 		}
 	}
+	s.StoreOuterChain(epoch, out)
 	return out
 }
 

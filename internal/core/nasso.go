@@ -89,6 +89,9 @@ func (e *Extension) NASSO(inner, outer *sgx.SECS) error {
 
 		inner.Nested.OuterEIDs = append(inner.Nested.OuterEIDs, outer.EID)
 		outer.Nested.InnerEIDs = append(outer.Nested.InnerEIDs, inner.EID)
+		// The association graph changed: invalidate every cached
+		// outer-closure (see outerChain).
+		e.m.BumpAssocEpoch()
 		return nil
 	})
 }

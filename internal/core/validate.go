@@ -29,17 +29,22 @@ import (
 //	    else unsecure access: execute permission disabled.
 type Validator struct{}
 
-// Validate implements sgx.Validator.
+// Validate implements sgx.Validator. Validation steps are counted locally
+// and charged as one batched record on every exit path — together with the
+// cached outer-closure (see outerChain) this keeps the nested walk free of
+// per-step recording overhead and per-walk allocations.
 func (Validator) Validate(c *sgx.Core, v isa.VAddr, pte pt.PTE, op isa.Access) (tlb.Entry, *sgx.Outcome) {
 	m := c.Machine()
 	paddr := isa.PAddr(pte.PPN << isa.PageShift)
+	var steps int64
+	defer func() { sgx.ChargeValidateSteps(c, steps) }()
 
 	if !pte.Perms.Allows(op) {
 		return fault(isa.PF(v, op, "page-table permission"))
 	}
 
 	// (A) Non-enclave execution: identical to baseline SGX.
-	sgx.ChargeValidateStep(c)
+	steps++
 	if !c.InEnclave() {
 		if m.DRAM.PageInPRM(paddr) {
 			return abort()
@@ -50,10 +55,10 @@ func (Validator) Validate(c *sgx.Core, v isa.VAddr, pte pt.PTE, op isa.Access) (
 	s := c.Current()
 
 	// (B) Enclave mode, physical page inside PRM.
-	sgx.ChargeValidateStep(c)
+	steps++
 	if m.DRAM.PageInPRM(paddr) {
 		ent, ok := m.EPC.EntryAt(paddr)
-		sgx.ChargeValidateStep(c)
+		steps++
 		if !ok || !ent.Valid {
 			return abort()
 		}
@@ -64,7 +69,7 @@ func (Validator) Validate(c *sgx.Core, v isa.VAddr, pte pt.PTE, op isa.Access) (
 			return abort()
 		}
 		// Baseline owner check.
-		sgx.ChargeValidateStep(c)
+		steps++
 		if ent.Owner == s.EID {
 			if ent.Vaddr != v.PageBase() {
 				return abort()
@@ -80,13 +85,13 @@ func (Validator) Validate(c *sgx.Core, v isa.VAddr, pte pt.PTE, op isa.Access) (
 		// enclave is an inner enclave, re-validate against its outer
 		// enclave(s), walking the inner-outer chain (multi-level §VIII).
 		for _, outer := range outerChain(m, s) {
-			sgx.ChargeValidateStep(c)
+			steps++
 			if ent.Owner != outer.EID {
 				continue
 			}
 			// Step ⑤: the virtual address must match the EPCM record and
 			// lie inside the outer's ELRANGE.
-			sgx.ChargeValidateStep(c)
+			steps++
 			if ent.Vaddr != v.PageBase() || !outer.ContainsVPN(v.VPN()) {
 				return abort()
 			}
@@ -94,6 +99,8 @@ func (Validator) Validate(c *sgx.Core, v isa.VAddr, pte pt.PTE, op isa.Access) (
 			if !eff.Allows(op) {
 				return fault(isa.PF(v, op, "EPCM permission (outer page)"))
 			}
+			// The nested-accept marker stays an immediate charge: the walk's
+			// classification (OpNestedWalk) reads this counter's delta.
 			m.Rec.ChargeToDetail(uint64(s.EID), c.ID, trace.EvNestedValidate, 0, v.VPN())
 			return tlb.Entry{VPN: v.VPN(), PPN: pte.PPN, Perms: eff,
 				FilledInEnclave: true, FilledEID: s.EID}, nil
@@ -105,7 +112,7 @@ func (Validator) Validate(c *sgx.Core, v isa.VAddr, pte pt.PTE, op isa.Access) (
 	}
 
 	// (C) Enclave mode, physical page outside PRM.
-	sgx.ChargeValidateStep(c)
+	steps++
 	if s.ContainsVPN(v.VPN()) {
 		return fault(isa.PF(v, op, "ELRANGE page not backed by EPC (evicted?)"))
 	}
@@ -113,7 +120,7 @@ func (Validator) Validate(c *sgx.Core, v isa.VAddr, pte pt.PTE, op isa.Access) (
 	// EPC page — the outer page was evicted; page fault so the kernel
 	// reloads it.
 	for _, outer := range outerChain(m, s) {
-		sgx.ChargeValidateStep(c)
+		steps++
 		if outer.ContainsVPN(v.VPN()) {
 			return fault(isa.PF(v, op, "outer ELRANGE page not backed by EPC (evicted?)"))
 		}

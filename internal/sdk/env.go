@@ -181,7 +181,52 @@ func (env *Env) OCall(name string, args []byte) ([]byte, error) {
 	if ferr != nil {
 		return nil, ferr
 	}
-	return append([]byte(nil), out...), nil
+	// Ownership of the handler's return buffer transfers to the enclave; the
+	// marshalling-in copy above is the only defensive copy on this path.
+	return out, nil
+}
+
+// OCallAsync performs an ocall through the host's switchless engine when the
+// EDL marks the function switchless (AllowSwitchless) and the engine is
+// running: the request is posted on the calling core's ring and served by a
+// host worker while this enclave thread polls, eliding the EEXIT/EENTER
+// transition pair. On any deterministic obstacle — unmarked function, no
+// engine, ring full, engine stopping, or the wait budget expiring unclaimed —
+// it degrades to the synchronous OCall path, so callers may use it
+// unconditionally for switchless-capable functions.
+func (env *Env) OCallAsync(name string, args []byte) ([]byte, error) {
+	if err := env.preempt(); err != nil {
+		return nil, err
+	}
+	if !env.E.img.SwitchlessOCalls[name] {
+		return env.OCall(name, args)
+	}
+	eng := env.E.host.Switchless()
+	if eng == nil || !eng.Running() {
+		return env.OCall(name, args)
+	}
+	if !env.E.img.AllowedOCalls[name] {
+		return nil, fmt.Errorf("sdk: ocall %q not in enclave %s's EDL", name, env.E.img.Name)
+	}
+	if _, ok := env.E.host.ocall(name); !ok {
+		return nil, fmt.Errorf("sdk: host has no ocall handler %q", name)
+	}
+	m := env.E.host.K.Machine()
+	eid := uint64(env.E.secs.EID)
+	sp := m.Rec.BeginSpan(env.C.ID, eid, "switchless_ocall:"+name)
+	defer sp.End()
+	callStart := m.Rec.Cycles()
+	// One marshalling copy into the shared (untrusted) ring buffer; the
+	// response buffer is produced by the host and ownership transfers here.
+	marshalled := append([]byte(nil), args...)
+	out, ferr, ok := eng.Submit(env.C.ID, eid, name, marshalled)
+	if !ok {
+		// Ring full, engine stopped, or starved past the wait budget: pay the
+		// transition after all.
+		return env.OCall(name, args)
+	}
+	m.Rec.Observe(trace.OpSwitchlessOCall, m.Rec.Cycles()-callStart)
+	return out, ferr
 }
 
 // NECall invokes an entry point of an associated inner enclave via NEENTER —
@@ -226,7 +271,65 @@ func (env *Env) NECall(inner *Enclave, name string, args []byte) ([]byte, error)
 	if ferr != nil {
 		return nil, ferr
 	}
-	return append([]byte(nil), out...), nil
+	return out, nil
+}
+
+// NECallBatch invokes an inner entry point once per argument set over a
+// single NEENTER/NEEXIT round trip, amortizing the nested transition across
+// the batch. The first failing item aborts the remainder and surfaces its
+// error annotated with the item index; an inner crash mid-batch behaves
+// exactly as in NECall (the typed error passes through, no NEEXIT is
+// attempted on the evacuated frame).
+func (env *Env) NECallBatch(inner *Enclave, name string, batch [][]byte) ([][]byte, error) {
+	if err := env.preempt(); err != nil {
+		return nil, err
+	}
+	ext := env.E.host.Ext
+	if ext == nil {
+		return nil, fmt.Errorf("sdk: machine has no nested-enclave support")
+	}
+	fn, ok := inner.img.ECalls[name]
+	if !ok {
+		return nil, fmt.Errorf("sdk: inner enclave %s has no entry %q", inner.img.Name, name)
+	}
+	if len(batch) == 0 {
+		return nil, nil
+	}
+	m := env.E.host.K.Machine()
+	sp := m.Rec.BeginSpan(env.C.ID, uint64(inner.secs.EID), "n_ecall_batch:"+name)
+	defer sp.End()
+	m.Rec.ChargeTo(uint64(inner.secs.EID), env.C.ID, trace.EvNECall, 0)
+	callStart := m.Rec.Cycles()
+	tcsV := inner.claimTCS()
+	defer inner.releaseTCS(tcsV)
+	if err := ext.NEENTER(env.C, inner.secs, tcsV); err != nil {
+		return nil, err
+	}
+	innerEnv := &Env{E: inner, C: env.C, tcsV: tcsV, deadline: env.deadline, budget: env.budget, expired: env.expired}
+	outs := make([][]byte, 0, len(batch))
+	var ferr error
+	for i, args := range batch {
+		marshalled := append([]byte(nil), args...)
+		out, ierr := runNested(innerEnv, name, fn, marshalled)
+		if ierr != nil {
+			if _, crashed := IsCrash(ierr); crashed {
+				// The inner crashed; runNested already popped back to this
+				// frame (or evacuated the core). No NEEXIT of our own.
+				return nil, ierr
+			}
+			ferr = fmt.Errorf("batch item %d: %w", i, ierr)
+			break
+		}
+		outs = append(outs, out)
+	}
+	if err := ext.NEEXIT(env.C); err != nil {
+		return nil, err
+	}
+	m.Rec.Observe(trace.OpNECall, m.Rec.Cycles()-callStart)
+	if ferr != nil {
+		return nil, ferr
+	}
+	return outs, nil
 }
 
 // runNested runs a trusted function at a nested-transition boundary with
@@ -313,7 +416,7 @@ func (env *Env) NOCall(name string, args []byte) ([]byte, error) {
 		if ferr != nil {
 			return nil, ferr
 		}
-		return append([]byte(nil), out...), nil
+		return out, nil
 	}
 
 	// Upward path: the inner was entered directly from untrusted code (the
@@ -338,7 +441,7 @@ func (env *Env) NOCall(name string, args []byte) ([]byte, error) {
 	if ferr != nil {
 		return nil, ferr
 	}
-	return append([]byte(nil), out...), nil
+	return out, nil
 }
 
 // --- Attestation ---

@@ -61,6 +61,11 @@ type Image struct {
 	// AllowedOCalls restricts which host functions this enclave's code may
 	// invoke; empty means none (the EDL's untrusted interface).
 	AllowedOCalls map[string]bool
+	// SwitchlessOCalls marks allowed ocalls the enclave may route through
+	// the host's switchless engine (Env.OCallAsync) instead of paying the
+	// EEXIT/EENTER transition — the EDL's `transition_using_threads`
+	// annotation. Always a subset of AllowedOCalls.
+	SwitchlessOCalls map[string]bool
 }
 
 // NewImage creates an image with the given ELRANGE base and layout.
@@ -69,12 +74,13 @@ func NewImage(name string, base isa.VAddr, l Layout) *Image {
 		l.NumTCS = 1
 	}
 	return &Image{
-		Name:          name,
-		Base:          base,
-		L:             l,
-		ECalls:        make(map[string]TrustedFunc),
-		NOCalls:       make(map[string]TrustedFunc),
-		AllowedOCalls: make(map[string]bool),
+		Name:             name,
+		Base:             base,
+		L:                l,
+		ECalls:           make(map[string]TrustedFunc),
+		NOCalls:          make(map[string]TrustedFunc),
+		AllowedOCalls:    make(map[string]bool),
+		SwitchlessOCalls: make(map[string]bool),
 	}
 }
 
@@ -94,6 +100,18 @@ func (img *Image) RegisterNOCall(name string, fn TrustedFunc) *Image {
 func (img *Image) AllowOCall(names ...string) *Image {
 	for _, n := range names {
 		img.AllowedOCalls[n] = true
+	}
+	return img
+}
+
+// AllowSwitchless whitelists host functions in the EDL and additionally
+// marks them switchless-capable: Env.OCallAsync may serve them through the
+// host's ring engine without an enclave transition. The marking is part of
+// the EDL and therefore folded into the measurement.
+func (img *Image) AllowSwitchless(names ...string) *Image {
+	for _, n := range names {
+		img.AllowedOCalls[n] = true
+		img.SwitchlessOCalls[n] = true
 	}
 	return img
 }
@@ -136,12 +154,17 @@ func (img *Image) Size() uint64 {
 // an image with different code (a different function table) measures
 // differently — the property attestation depends on.
 func (img *Image) interfaceDigest() [32]byte {
-	names := make([]string, 0, len(img.ECalls)+len(img.NOCalls))
+	names := make([]string, 0, len(img.ECalls)+len(img.NOCalls)+len(img.SwitchlessOCalls))
 	for n := range img.ECalls {
 		names = append(names, "e:"+n)
 	}
 	for n := range img.NOCalls {
 		names = append(names, "no:"+n)
+	}
+	// Switchless markings change the trusted/untrusted interface contract,
+	// so they are measured; images that use none keep their measurement.
+	for n := range img.SwitchlessOCalls {
+		names = append(names, "sw:"+n)
 	}
 	sort.Strings(names)
 	h := sha256.New()

@@ -53,7 +53,11 @@ func (c *Core) maybeChaos() error {
 
 // translateLocked resolves v for the given access kind. It returns either a
 // physical address, abort=true (abort-page semantics), or a fault.
-// Caller holds m.mu.
+// Caller holds at least the read side of m.mu: the whole miss-handling
+// sequence only reads machine-global structures (COW page table, EPCM, SECS
+// association lists) and touches per-core state (TLB) owned by the calling
+// goroutine, so concurrent translations on different cores proceed in
+// parallel while mutating instructions hold the write lock.
 func (c *Core) translateLocked(v isa.VAddr, op isa.Access) (pa isa.PAddr, abort bool, err error) {
 	rec := c.m.Rec
 	eid := c.BillEID()
@@ -143,24 +147,24 @@ func (c *Core) ReadInto(v isa.VAddr, dst []byte) error {
 			return err
 		}
 		for attempt := 0; ; attempt++ {
-			c.m.mu.Lock()
+			c.m.mu.RLock()
 			pa, abort, err := c.translateLocked(cur, isa.Read)
 			if err == nil {
 				if abort {
-					c.m.mu.Unlock()
+					c.m.mu.RUnlock()
 					for i := 0; i < n; i++ {
 						dst[off+i] = 0xFF
 					}
 					break
 				}
-				err = c.m.LLC.ReadInto(pa, dst[off:off+n])
-				c.m.mu.Unlock()
+				err = c.m.LLC.ReadIntoFor(pa, dst[off:off+n], c.BillEID(), c.m.Rec.CurrentSpan(c.ID))
+				c.m.mu.RUnlock()
 				if err != nil {
 					return err // MEE integrity machine check
 				}
 				break
 			}
-			c.m.mu.Unlock()
+			c.m.mu.RUnlock()
 			if attempt < maxFaultRetries && c.handleFault(err) {
 				continue
 			}
@@ -190,19 +194,19 @@ func (c *Core) Write(v isa.VAddr, b []byte) error {
 			return err
 		}
 		for attempt := 0; ; attempt++ {
-			c.m.mu.Lock()
+			c.m.mu.RLock()
 			pa, abort, err := c.translateLocked(cur, isa.Write)
 			if err == nil {
 				if !abort {
-					err = c.m.LLC.Write(pa, b[off:off+n])
+					err = c.m.LLC.WriteFor(pa, b[off:off+n], c.BillEID(), c.m.Rec.CurrentSpan(c.ID))
 				}
-				c.m.mu.Unlock()
+				c.m.mu.RUnlock()
 				if err != nil {
 					return err
 				}
 				break
 			}
-			c.m.mu.Unlock()
+			c.m.mu.RUnlock()
 			if attempt < maxFaultRetries && c.handleFault(err) {
 				continue
 			}
@@ -221,9 +225,9 @@ func (c *Core) Fetch(v isa.VAddr) error {
 		return err
 	}
 	for attempt := 0; ; attempt++ {
-		c.m.mu.Lock()
+		c.m.mu.RLock()
 		_, abort, err := c.translateLocked(v, isa.Execute)
-		c.m.mu.Unlock()
+		c.m.mu.RUnlock()
 		if err == nil {
 			if abort {
 				return isa.PF(v, isa.Execute, "fetch from abort page")

@@ -25,9 +25,14 @@ func (m *Machine) SetChaos(inj *chaos.Injector) {
 	m.MEE.Chaos = inj
 }
 
-// poisonLocked marks an enclave poisoned. Caller holds m.mu. The first
-// reason sticks; repeat poisonings of a dying enclave do not rewrite it.
-func (m *Machine) poisonLocked(eid isa.EID, reason string) {
+// poison marks an enclave poisoned. The map lives under its own leaf lock
+// (pmu), so this is callable from any context — including the MEE's
+// integrity-failure callback, which fires inside the cache hierarchy on the
+// read-locked access path. The first reason sticks; repeat poisonings of a
+// dying enclave do not rewrite it.
+func (m *Machine) poison(eid isa.EID, reason string) {
+	m.pmu.Lock()
+	defer m.pmu.Unlock()
 	if _, ok := m.poisoned[eid]; ok {
 		return
 	}
@@ -39,23 +44,24 @@ func (m *Machine) poisonLocked(eid isa.EID, reason string) {
 // are refused with a machine-check fault until the enclave is EREMOVEd.
 // Used by the SDK when trusted code crashes inside the enclave.
 func (m *Machine) PoisonEnclave(eid isa.EID, reason string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.poisonLocked(eid, reason)
+	m.poison(eid, reason)
 }
 
 // PoisonedReason reports whether the enclave is poisoned and why.
 func (m *Machine) PoisonedReason(eid isa.EID) (string, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.pmu.Lock()
+	defer m.pmu.Unlock()
 	r, ok := m.poisoned[eid]
 	return r, ok
 }
 
-// PoisonedLocked reports poisoning without taking the machine lock. It
-// exists for callers already inside Atomically (the NEENTER flow in package
-// core); other callers must use PoisonedReason.
+// PoisonedLocked reports poisoning from callers already inside Atomically
+// (the NEENTER flow in package core). The poison mark lives under its own
+// leaf lock, so the machine lock is not required — the name records the
+// calling convention, not the implementation.
 func (m *Machine) PoisonedLocked(eid isa.EID) bool {
+	m.pmu.Lock()
+	defer m.pmu.Unlock()
 	_, ok := m.poisoned[eid]
 	return ok
 }

@@ -214,9 +214,14 @@ func (m *Machine) ERemove(page int) error {
 			}
 		}
 		delete(m.secsByEID, owner)
+		// The association graph changed (even for a lone enclave, its EID is
+		// now dead): invalidate every cached outer-closure.
+		m.BumpAssocEpoch()
 		// Removing the SECS clears the poison mark: the identity can be
 		// rebuilt from the image by a fresh ECREATE.
+		m.pmu.Lock()
 		delete(m.poisoned, owner)
+		m.pmu.Unlock()
 	}
 	// Scrub the page: drop cached lines without writeback, forget the MEE
 	// metadata, zero the DRAM ciphertext. Order matters — a writeback after

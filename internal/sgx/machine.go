@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"nestedenclave/internal/cache"
 	"nestedenclave/internal/chaos"
@@ -86,10 +87,18 @@ func SmallConfig() Config {
 
 // Machine is the simulated SGX-enabled processor package plus DRAM.
 type Machine struct {
-	// mu serializes the shared memory system and machine-global state.
-	// Per-core state (TLB, registers, enclave stack) is owned by the one
-	// goroutine driving that core.
-	mu sync.Mutex
+	// mu guards the shared memory system and machine-global state. The hot
+	// data-access path (translate + validate on TLB miss) only *reads*
+	// machine-global structures — the EPCM, SECS association lists, and the
+	// COW page tables — so it runs under the read lock and cores proceed in
+	// parallel; every instruction that mutates machine state (lifecycle,
+	// transitions, paging, NASSO) takes the write lock and so still excludes
+	// all accesses, exactly like the old exclusive lock did. Per-core state
+	// (TLB, registers, enclave stack) is owned by the one goroutine driving
+	// that core; cross-core TLB shootdowns happen under the write lock only.
+	// The LLC serializes internally (it is the one mutable structure on the
+	// read path).
+	mu sync.RWMutex
 
 	DRAM *phys.Memory
 	MEE  *mee.Engine
@@ -103,6 +112,11 @@ type Machine struct {
 	cores     []*Core
 	secsByEID map[isa.EID]*SECS
 	nextEID   isa.EID
+
+	// assocEpoch versions the machine's enclave-association graph: NASSO and
+	// EREMOVE bump it, invalidating the outer-closure caches the Figure-6
+	// validator keeps on each SECS (see SECS.CachedOuterChain).
+	assocEpoch atomic.Uint64
 
 	platformSecret []byte
 
@@ -126,7 +140,10 @@ type Machine struct {
 	// poisoned marks enclaves whose protected memory failed MEE integrity
 	// verification (or whose trusted code crashed): entry and resumption
 	// are refused with a machine-check fault until the enclave is removed.
-	// Guarded by mu.
+	// Guarded by pmu — its own leaf lock, not mu, because the MEE's poison
+	// callback fires from inside the cache hierarchy on the read-locked
+	// access path, where mu cannot be upgraded.
+	pmu      sync.Mutex
 	poisoned map[isa.EID]string
 }
 
@@ -172,7 +189,7 @@ func New(cfg Config) (*Machine, error) {
 	// and restart it).
 	eng.Poison = func(p isa.PAddr) {
 		if ent, ok := m.EPC.EntryAt(p); ok && ent.Owner != 0 {
-			m.poisonLocked(ent.Owner, fmt.Sprintf("MEE integrity failure at %#x", uint64(p)))
+			m.poison(ent.Owner, fmt.Sprintf("MEE integrity failure at %#x", uint64(p)))
 		}
 	}
 	m.Validator = BaselineValidator{}
@@ -202,11 +219,19 @@ func (m *Machine) Core(i int) *Core { return m.cores[i] }
 
 // Enclave looks up a live enclave by identity.
 func (m *Machine) Enclave(eid isa.EID) (*SECS, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	s, ok := m.secsByEID[eid]
 	return s, ok
 }
+
+// AssocEpoch returns the current version of the enclave-association graph.
+// Validator-side caches keyed by it are invalid once it moves.
+func (m *Machine) AssocEpoch() uint64 { return m.assocEpoch.Load() }
+
+// BumpAssocEpoch invalidates every cached outer-closure: called by NASSO and
+// EREMOVE, the two operations that change the association graph.
+func (m *Machine) BumpAssocEpoch() { m.assocEpoch.Add(1) }
 
 // ResolveEID looks up an enclave without taking the machine lock. It exists
 // for Validator and Tracker implementations, which always run with the lock
@@ -220,8 +245,8 @@ func (m *Machine) ResolveEID(eid isa.EID) (*SECS, bool) {
 // sorted by EID so consumers iterate in a replay-stable order regardless of
 // the map's internal layout.
 func (m *Machine) Enclaves() []*SECS {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]*SECS, 0, len(m.secsByEID))
 	for _, s := range m.secsByEID {
 		out = append(out, s)

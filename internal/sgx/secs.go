@@ -2,6 +2,7 @@ package sgx
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"nestedenclave/internal/isa"
 	"nestedenclave/internal/measure"
@@ -48,6 +49,35 @@ type SECS struct {
 	// epochs implement ETRACK: see paging.go.
 	trackEpoch   uint64
 	epochEntries map[int]uint64 // coreID -> epoch at which it entered
+
+	// outerChain caches this enclave's transitive outer closure, keyed to
+	// the machine's association epoch (see Machine.AssocEpoch). The page-walk
+	// hot path reads it lock-free; NASSO and EREMOVE invalidate it by bumping
+	// the epoch.
+	outerChain atomic.Pointer[outerClosure]
+}
+
+// outerClosure is one epoch's snapshot of an enclave's transitive outer
+// enclaves. The chain slice is immutable once stored.
+type outerClosure struct {
+	epoch uint64
+	chain []*SECS
+}
+
+// CachedOuterChain returns the outer closure cached at the given association
+// epoch, or false if absent/stale. The chain must not be mutated.
+func (s *SECS) CachedOuterChain(epoch uint64) ([]*SECS, bool) {
+	if oc := s.outerChain.Load(); oc != nil && oc.epoch == epoch {
+		return oc.chain, true
+	}
+	return nil, false
+}
+
+// StoreOuterChain caches the outer closure computed at the given association
+// epoch. Racing stores for the same epoch carry identical content, so last
+// writer winning is fine.
+func (s *SECS) StoreOuterChain(epoch uint64, chain []*SECS) {
+	s.outerChain.Store(&outerClosure{epoch: epoch, chain: chain})
 }
 
 // NestedInfo is the reserved-field extension of Figure 3.

@@ -30,7 +30,7 @@ func (m *Machine) EEnter(c *Core, s *SECS, tcsVaddr isa.VAddr, resume bool) erro
 	if s == nil || !s.Initialized {
 		return isa.GP("EENTER: enclave not initialized")
 	}
-	if reason, ok := m.poisoned[s.EID]; ok {
+	if reason, ok := m.PoisonedReason(s.EID); ok {
 		return isa.MC("EENTER: enclave %d poisoned: %s", s.EID, reason)
 	}
 	t, err := s.FindTCS(tcsVaddr)
@@ -139,7 +139,7 @@ func (m *Machine) EResume(c *Core, t *TCS) error {
 	}
 	// Refuse to resume a poisoned enclave *before* consuming the saved
 	// state, so the caller can still EmergencyExit/ScrubTCS cleanly.
-	if reason, ok := m.poisoned[t.ssa.cur.EID]; ok {
+	if reason, ok := m.PoisonedReason(t.ssa.cur.EID); ok {
 		return isa.MC("ERESUME: enclave %d poisoned: %s", t.ssa.cur.EID, reason)
 	}
 	f := t.ssa

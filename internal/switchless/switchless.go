@@ -1,0 +1,327 @@
+// Package switchless implements Occlum-style asynchronous (switchless)
+// calls: bounded shared-ring request/response queues between enclave threads
+// and host worker goroutines, so a hot ocall becomes an enqueue + poll
+// instead of a full EEXIT/EENTER transition pair.
+//
+// Protocol. Each ring is single-producer/single-consumer: the producer is
+// the enclave thread executing on one core (a core runs at most one enclave
+// thread at a time, so per-core rings are SPSC by construction), the
+// consumer is any of the engine's host workers — slots hand over by
+// compare-and-swap, so multiple workers scanning the same ring never
+// double-claim. A slot moves empty → posted → claimed → done and back to
+// empty when the producer consumes the response; a posted slot that no
+// worker has claimed can be cancelled (posted → empty) by the producer,
+// which then falls back to the synchronous call path.
+//
+// Cost model. A switchless request charges exactly two fixed costs:
+// CostRingSubmit on the submitting core when the request is posted and
+// CostRingService by the worker when it completes the handler — both billed
+// to the requesting enclave, so the elided transition work remains
+// attributed to its cause. Spinning never charges: the simulated clock is a
+// function of the request count, not of host scheduling, which keeps
+// replays and the perf gate deterministic.
+//
+// Fallback policy. Submit reports ok=false — the caller must perform the
+// call synchronously — only on deterministic conditions: the engine is
+// stopped (or stops while the request is posted), the producer's next slot
+// is still occupied (ring full), or the simulated clock passes the
+// configured wait budget while the request is still unclaimed. A request a
+// worker has already claimed is always awaited, so a handler runs at most
+// once.
+package switchless
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"nestedenclave/internal/trace"
+)
+
+// HostFunc is a host-side request handler (the sdk's ocall signature).
+type HostFunc func(args []byte) ([]byte, error)
+
+// Resolver maps a request name to its host implementation.
+type Resolver func(name string) (HostFunc, bool)
+
+// Config sizes the engine. Zero fields take the defaults.
+type Config struct {
+	// Rings is the number of SPSC rings; submitters map to rings by core ID.
+	// Default 4 (the default machine's core count).
+	Rings int
+	// SlotsPerRing bounds outstanding requests per ring. Default 8.
+	SlotsPerRing int
+	// SpinIters is how many times the producer polls its slot before it
+	// starts yielding the host thread between polls. Purely a host-side
+	// scheduling knob: it never affects simulated time. Default 64.
+	SpinIters int
+	// WaitBudget is the simulated-cycle budget a posted request may wait
+	// unclaimed before the producer cancels it and falls back to the
+	// synchronous path. Default 100000 cycles (~25 µs at 4 GHz).
+	WaitBudget int64
+	// Workers is the number of host worker goroutines. Default 1.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rings <= 0 {
+		c.Rings = 4
+	}
+	if c.SlotsPerRing <= 0 {
+		c.SlotsPerRing = 8
+	}
+	if c.SpinIters <= 0 {
+		c.SpinIters = 64
+	}
+	if c.WaitBudget <= 0 {
+		c.WaitBudget = 100_000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// Slot states.
+const (
+	slotEmpty uint32 = iota
+	slotPosted
+	slotClaimed
+	slotDone
+)
+
+// slot is one request/response cell. The producer owns every field while the
+// state is empty or done; the claiming worker owns them while claimed; the
+// state word mediates the hand-over.
+type slot struct {
+	state    atomic.Uint32
+	name     string
+	args     []byte
+	out      []byte
+	err      error
+	eid      uint64
+	core     int
+	postedAt int64 // simulated cycles when posted
+}
+
+// ring is one SPSC queue. tail is producer-local: only the single producer
+// mapped to this ring advances it.
+type ring struct {
+	slots []slot
+	tail  uint64
+}
+
+// Stats is a snapshot of the engine's lifetime counters.
+type Stats struct {
+	Submitted    int64 // requests posted to a ring
+	Completed    int64 // requests completed through the ring
+	Fallbacks    int64 // requests cancelled to the synchronous path
+	MaxOccupancy int64 // peak simultaneously-outstanding requests
+}
+
+// Engine owns the rings and the host worker goroutines.
+type Engine struct {
+	rec     *trace.Recorder
+	resolve Resolver
+	cfg     Config
+	rings   []*ring
+
+	notify  chan struct{}
+	stop    chan struct{}
+	stopped atomic.Bool
+	started bool
+	mu      sync.Mutex
+	wg      sync.WaitGroup
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	fallbacks atomic.Int64
+	occupancy atomic.Int64
+	maxOcc    atomic.Int64
+}
+
+// New creates an engine in the stopped state. rec must be non-nil; resolve
+// supplies the host handlers (the sdk passes its ocall table).
+func New(rec *trace.Recorder, resolve Resolver, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		rec:     rec,
+		resolve: resolve,
+		cfg:     cfg,
+		rings:   make([]*ring, cfg.Rings),
+		notify:  make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+	}
+	for i := range e.rings {
+		e.rings[i] = &ring{slots: make([]slot, cfg.SlotsPerRing)}
+	}
+	e.stopped.Store(true)
+	return e
+}
+
+// Start launches the worker goroutines. Starting a running engine is a no-op.
+func (e *Engine) Start() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return
+	}
+	e.started = true
+	e.stop = make(chan struct{})
+	e.stopped.Store(false)
+	for i := 0; i < e.cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+}
+
+// Stop halts the workers and waits for them to drain. Requests posted but
+// unclaimed when the workers exit are cancelled by their producers, which
+// fall back to the synchronous path; claimed requests complete first.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	if !e.started {
+		e.mu.Unlock()
+		return
+	}
+	e.started = false
+	e.stopped.Store(true)
+	close(e.stop)
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// Running reports whether the engine accepts requests.
+func (e *Engine) Running() bool { return !e.stopped.Load() }
+
+// Stats snapshots the lifetime counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Submitted:    e.submitted.Load(),
+		Completed:    e.completed.Load(),
+		Fallbacks:    e.fallbacks.Load(),
+		MaxOccupancy: e.maxOcc.Load(),
+	}
+}
+
+// ringFor maps a submitting core to its ring.
+func (e *Engine) ringFor(core int) *ring {
+	if core < 0 {
+		core = 0
+	}
+	return e.rings[core%len(e.rings)]
+}
+
+// Submit posts the named request on the core's ring and waits for its
+// completion, charging the fixed ring-protocol costs to eid. ok=false means
+// the request did not run — the caller must perform it synchronously.
+//
+// Submit is safe for concurrent use by at most one goroutine per core (the
+// SPSC contract); the sdk guarantees this because a core executes one
+// enclave thread at a time.
+func (e *Engine) Submit(core int, eid uint64, name string, args []byte) (out []byte, err error, ok bool) {
+	if e.stopped.Load() {
+		return nil, nil, false
+	}
+	r := e.ringFor(core)
+	s := &r.slots[r.tail%uint64(len(r.slots))]
+	if s.state.Load() != slotEmpty {
+		// Ring full: the producer lapped a slot still in flight.
+		e.fallbacks.Add(1)
+		e.rec.ChargeTo(eid, core, trace.EvSwitchlessFallback, 0)
+		return nil, nil, false
+	}
+	s.name, s.args, s.eid, s.core = name, args, eid, core
+	s.postedAt = e.rec.Cycles()
+	s.out, s.err = nil, nil
+	s.state.Store(slotPosted)
+	r.tail++
+	e.rec.ChargeTo(eid, core, trace.EvSwitchless, trace.CostRingSubmit)
+	e.submitted.Add(1)
+	if occ := e.occupancy.Add(1); occ > e.maxOcc.Load() {
+		for {
+			cur := e.maxOcc.Load()
+			if occ <= cur || e.maxOcc.CompareAndSwap(cur, occ) {
+				break
+			}
+		}
+	}
+	select {
+	case e.notify <- struct{}{}:
+	default:
+	}
+
+	spin := 0
+	for {
+		switch s.state.Load() {
+		case slotDone:
+			out, err = s.out, s.err
+			s.name, s.args, s.out, s.err = "", nil, nil, nil
+			s.state.Store(slotEmpty)
+			e.occupancy.Add(-1)
+			e.completed.Add(1)
+			return out, err, true
+		case slotPosted:
+			// Unclaimed: cancel on engine stop or when the simulated clock
+			// exceeds the wait budget (a worker that already claimed the
+			// request is always awaited instead).
+			if e.stopped.Load() || e.rec.Cycles()-s.postedAt > e.cfg.WaitBudget {
+				if s.state.CompareAndSwap(slotPosted, slotEmpty) {
+					s.name, s.args = "", nil
+					e.occupancy.Add(-1)
+					e.fallbacks.Add(1)
+					e.rec.ChargeTo(eid, core, trace.EvSwitchlessFallback, 0)
+					return nil, nil, false
+				}
+				continue // lost the race to a claiming worker
+			}
+		}
+		spin++
+		if spin > e.cfg.SpinIters {
+			runtime.Gosched()
+		}
+	}
+}
+
+// worker scans the rings for posted requests, parking on the notify channel
+// when a sweep finds none.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		if e.sweep() == 0 {
+			select {
+			case <-e.notify:
+			case <-e.stop:
+				e.sweep() // serve what raced with shutdown
+				return
+			}
+		}
+	}
+}
+
+// sweep claims and serves every posted slot it finds, returning the number
+// served.
+func (e *Engine) sweep() int {
+	n := 0
+	for _, r := range e.rings {
+		for i := range r.slots {
+			s := &r.slots[i]
+			if s.state.Load() != slotPosted {
+				continue
+			}
+			if !s.state.CompareAndSwap(slotPosted, slotClaimed) {
+				continue
+			}
+			if fn, found := e.resolve(s.name); found {
+				s.out, s.err = fn(s.args)
+			} else {
+				s.out, s.err = nil, fmt.Errorf("switchless: no host function %q", s.name)
+			}
+			e.rec.ChargeTo(s.eid, trace.NoCore, trace.EvSwitchless, trace.CostRingService)
+			s.state.Store(slotDone)
+			n++
+		}
+	}
+	return n
+}

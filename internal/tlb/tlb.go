@@ -32,7 +32,12 @@ type Entry struct {
 }
 
 // TLB is a per-core translation cache. Not safe for concurrent use; each
-// core owns exactly one.
+// core owns exactly one, and safety under the machine's shared-lock access
+// path is by ownership, not locking: lookups and fills happen only on the
+// owning core's goroutine (which holds at least the machine's read lock),
+// while cross-core flushes (TLB shootdowns during EPC paging) are issued
+// only under the machine's exclusive lock, when no access path can be
+// running anywhere.
 type TLB struct {
 	entries map[uint64]Entry
 	rec     *trace.Recorder

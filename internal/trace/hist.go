@@ -19,14 +19,15 @@ import (
 type Op int
 
 const (
-	OpECall      Op = iota // full ecall round trip: EENTER .. body .. EEXIT
-	OpOCall                // ocall round trip: EEXIT .. host fn .. resuming EENTER
-	OpNECall               // n_ecall round trip: NEENTER .. body .. NEEXIT
-	OpNOCall               // n_ocall round trip (either Figure-5 direction)
-	OpPageWalk             // TLB miss: page walk + Figure-2 validation
-	OpNestedWalk           // TLB miss resolved via the Figure-6 outer-enclave branch
-	OpEWB                  // page eviction: seal + LLC flush + free
-	OpELD                  // page reload: open + EPC alloc + LLC fill
+	OpECall           Op = iota // full ecall round trip: EENTER .. body .. EEXIT
+	OpOCall                     // ocall round trip: EEXIT .. host fn .. resuming EENTER
+	OpNECall                    // n_ecall round trip: NEENTER .. body .. NEEXIT
+	OpNOCall                    // n_ocall round trip (either Figure-5 direction)
+	OpPageWalk                  // TLB miss: page walk + Figure-2 validation
+	OpNestedWalk                // TLB miss resolved via the Figure-6 outer-enclave branch
+	OpEWB                       // page eviction: seal + LLC flush + free
+	OpELD                       // page reload: open + EPC alloc + LLC fill
+	OpSwitchlessOCall           // ocall served through the switchless ring (no transition)
 
 	numOps
 )
@@ -35,14 +36,15 @@ const (
 const NumOps = int(numOps)
 
 var opNames = [...]string{
-	OpECall:      "ecall",
-	OpOCall:      "ocall",
-	OpNECall:     "n_ecall",
-	OpNOCall:     "n_ocall",
-	OpPageWalk:   "page_walk",
-	OpNestedWalk: "nested_page_walk",
-	OpEWB:        "ewb",
-	OpELD:        "eld",
+	OpECall:           "ecall",
+	OpOCall:           "ocall",
+	OpNECall:          "n_ecall",
+	OpNOCall:          "n_ocall",
+	OpPageWalk:        "page_walk",
+	OpNestedWalk:      "nested_page_walk",
+	OpEWB:             "ewb",
+	OpELD:             "eld",
+	OpSwitchlessOCall: "switchless_ocall",
 }
 
 func (o Op) String() string {

@@ -70,6 +70,12 @@ const (
 	EvChaosInject  // a fault was injected
 	EvChaosRecover // an injected fault was recovered (retry/retransmit/restart)
 
+	// Switchless calls (package switchless). A switchless request elides the
+	// EEXIT/EENTER pair; the ring protocol costs below are charged instead so
+	// the elided transitions remain attributed.
+	EvSwitchless         // a request completed through the ring
+	EvSwitchlessFallback // a request fell back to the synchronous path
+
 	numEvents
 )
 
@@ -77,33 +83,35 @@ const (
 const NumEvents = int(numEvents)
 
 var eventNames = [...]string{
-	EvECall:          "ecall",
-	EvOCall:          "ocall",
-	EvNECall:         "n_ecall",
-	EvNOCall:         "n_ocall",
-	EvEENTER:         "EENTER",
-	EvEEXIT:          "EEXIT",
-	EvNEENTER:        "NEENTER",
-	EvNEEXIT:         "NEEXIT",
-	EvAEX:            "AEX",
-	EvTLBHit:         "tlb_hit",
-	EvTLBMiss:        "tlb_miss",
-	EvTLBFlush:       "tlb_flush",
-	EvPageWalk:       "page_walk",
-	EvValidateStep:   "validate_step",
-	EvNestedValidate: "nested_validate",
-	EvMEEEncrypt:     "mee_encrypt",
-	EvMEEDecrypt:     "mee_decrypt",
-	EvLLCHit:         "llc_hit",
-	EvLLCMiss:        "llc_miss",
-	EvFaultGP:        "fault_gp",
-	EvFaultPF:        "fault_pf",
-	EvFaultMC:        "fault_mc",
-	EvEWB:            "ewb",
-	EvELD:            "eld",
-	EvIPI:            "ipi",
-	EvChaosInject:    "chaos_inject",
-	EvChaosRecover:   "chaos_recover",
+	EvECall:              "ecall",
+	EvOCall:              "ocall",
+	EvNECall:             "n_ecall",
+	EvNOCall:             "n_ocall",
+	EvEENTER:             "EENTER",
+	EvEEXIT:              "EEXIT",
+	EvNEENTER:            "NEENTER",
+	EvNEEXIT:             "NEEXIT",
+	EvAEX:                "AEX",
+	EvTLBHit:             "tlb_hit",
+	EvTLBMiss:            "tlb_miss",
+	EvTLBFlush:           "tlb_flush",
+	EvPageWalk:           "page_walk",
+	EvValidateStep:       "validate_step",
+	EvNestedValidate:     "nested_validate",
+	EvMEEEncrypt:         "mee_encrypt",
+	EvMEEDecrypt:         "mee_decrypt",
+	EvLLCHit:             "llc_hit",
+	EvLLCMiss:            "llc_miss",
+	EvFaultGP:            "fault_gp",
+	EvFaultPF:            "fault_pf",
+	EvFaultMC:            "fault_mc",
+	EvEWB:                "ewb",
+	EvELD:                "eld",
+	EvIPI:                "ipi",
+	EvChaosInject:        "chaos_inject",
+	EvChaosRecover:       "chaos_recover",
+	EvSwitchless:         "switchless",
+	EvSwitchlessFallback: "switchless_fallback",
 }
 
 func (e Event) String() string {
@@ -141,6 +149,15 @@ const (
 	CostLLCHit     = 30
 	CostDRAMAccess = 170
 	CostIPI        = 2500
+
+	// Switchless ring protocol (Occlum-style asynchronous calls): the
+	// submitter pays one cacheline hand-off plus bookkeeping to post a
+	// request, and the servicing worker pays the same to claim, run and
+	// complete it. Both together (~800 cycles) replace the ~12.5k-cycle
+	// EEXIT+EENTER(resume) pair of a synchronous ocall. The costs are fixed
+	// per request — spinning never charges — so replays stay deterministic.
+	CostRingSubmit  = 400
+	CostRingService = 400
 
 	// Software AES-GCM, as used by the monolithic inter-enclave channel
 	// (Figure 11's baseline): a fixed per-call cost (IV/tag handling,
@@ -419,6 +436,24 @@ func (r *Recorder) ChargeToDetail(eid uint64, core int, e Event, cycles int64, d
 	r.Advance(cycles)
 	if s := r.sink.Load(); s != nil {
 		s.record(eid, core, e, cycles, r.Cycles(), detail)
+	}
+}
+
+// ChargeBatchTo records n occurrences of the event as one batched charge:
+// counters (global and per-enclave) advance by n, the clock advances by
+// n*cyclesEach, and — when observation is enabled — a single event-log record
+// is appended whose detail word carries the batch size. The access path uses
+// it so per-step charges (e.g. validate steps within one page walk) stop
+// being per-call work; totals are bit-identical to n individual charges.
+func (r *Recorder) ChargeBatchTo(eid uint64, core int, e Event, n int64, cyclesEach int64) {
+	if n <= 0 {
+		return
+	}
+	r.Add(e, n)
+	r.Advance(n * cyclesEach)
+	if s := r.sink.Load(); s != nil {
+		s.counters(eid).Add(e, n-1) // record() adds the final one
+		s.record(eid, core, e, n*cyclesEach, r.Cycles(), uint64(n))
 	}
 }
 

@@ -19,28 +19,96 @@ import (
 // suppress).
 const allowPrefix = "nescheck:allow"
 
-type allowIndex struct {
-	// file maps filename -> rule families allowed for the whole file.
-	file map[string]map[string]bool
-	// line maps filename -> line -> rule families allowed at that line.
-	line map[string]map[int]map[string]bool
+// allowDirective is one parsed //nescheck:allow, tracking whether it ever
+// suppressed a finding so stale directives can be reported (-stale-allows).
+type allowDirective struct {
+	pos    token.Position
+	family string
+	used   bool
 }
 
+type allowIndex struct {
+	// file maps filename -> rule family -> directive allowed file-wide.
+	file map[string]map[string]*allowDirective
+	// line maps filename -> line -> rule family -> directive at that line.
+	line map[string]map[int]map[string]*allowDirective
+	// directives lists every directive in parse order (stale reporting).
+	directives []*allowDirective
+}
+
+func newAllowIndex() *allowIndex {
+	return &allowIndex{
+		file: make(map[string]map[string]*allowDirective),
+		line: make(map[string]map[int]map[string]*allowDirective),
+	}
+}
+
+// allows reports whether a directive covers the finding and marks every
+// covering directive used.
 func (ix *allowIndex) allows(pos token.Position, family string) bool {
-	if ix.file[pos.Filename][family] {
-		return true
+	ok := false
+	if d := ix.file[pos.Filename][family]; d != nil {
+		d.used = true
+		ok = true
 	}
 	lines := ix.line[pos.Filename]
-	return lines[pos.Line][family] || lines[pos.Line-1][family]
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		if d := lines[l][family]; d != nil {
+			d.used = true
+			ok = true
+		}
+	}
+	return ok
+}
+
+// absorb merges another index into ix, sharing directive identities so a use
+// recorded through the merged index is visible in stale computation.
+func (ix *allowIndex) absorb(other *allowIndex) {
+	for file, set := range other.file {
+		if ix.file[file] == nil {
+			ix.file[file] = make(map[string]*allowDirective)
+		}
+		for fam, d := range set {
+			ix.file[file][fam] = d
+		}
+	}
+	for file, lines := range other.line {
+		if ix.line[file] == nil {
+			ix.line[file] = make(map[int]map[string]*allowDirective)
+		}
+		for l, set := range lines {
+			if ix.line[file][l] == nil {
+				ix.line[file][l] = make(map[string]*allowDirective)
+			}
+			for fam, d := range set {
+				ix.line[file][l][fam] = d
+			}
+		}
+	}
+	ix.directives = append(ix.directives, other.directives...)
+}
+
+// stale returns one finding per directive that never suppressed anything.
+// Only meaningful after the FULL rule catalog has run — a partial run would
+// report directives for the rules it skipped.
+func (ix *allowIndex) stale() []Finding {
+	var out []Finding
+	for _, d := range ix.directives {
+		if !d.used {
+			out = append(out, Finding{
+				Pos:  d.pos,
+				Rule: "nescheck/stale-allow",
+				Msg:  "allow directive for " + d.family + " suppresses no finding; delete it",
+			})
+		}
+	}
+	return out
 }
 
 // buildAllowIndex scans a package's comments for allow directives, returning
 // the suppression index and findings for malformed directives.
 func buildAllowIndex(pkg *Package) (*allowIndex, []Finding) {
-	ix := &allowIndex{
-		file: make(map[string]map[string]bool),
-		line: make(map[string]map[int]map[string]bool),
-	}
+	ix := newAllowIndex()
 	var bad []Finding
 	report := func(pos token.Pos, msg string) {
 		bad = append(bad, Finding{Pos: pkg.Fset.Position(pos), Rule: "nescheck/bad-directive", Msg: msg})
@@ -67,26 +135,32 @@ func buildAllowIndex(pkg *Package) (*allowIndex, []Finding) {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
+				d := &allowDirective{pos: pos, family: family}
+				ix.directives = append(ix.directives, d)
 				if c.Pos() < f.Package {
 					set := ix.file[pos.Filename]
 					if set == nil {
-						set = make(map[string]bool)
+						set = make(map[string]*allowDirective)
 						ix.file[pos.Filename] = set
 					}
-					set[family] = true
+					if set[family] == nil {
+						set[family] = d
+					}
 					continue
 				}
 				lines := ix.line[pos.Filename]
 				if lines == nil {
-					lines = make(map[int]map[string]bool)
+					lines = make(map[int]map[string]*allowDirective)
 					ix.line[pos.Filename] = lines
 				}
 				set := lines[pos.Line]
 				if set == nil {
-					set = make(map[string]bool)
+					set = make(map[string]*allowDirective)
 					lines[pos.Line] = set
 				}
-				set[family] = true
+				if set[family] == nil {
+					set[family] = d
+				}
 			}
 		}
 	}

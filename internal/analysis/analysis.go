@@ -59,7 +59,9 @@ func ruleFamily(rule string) string {
 	return rule
 }
 
-// Analyzer is one house rule.
+// Analyzer is one house rule. Per-package rules set Run; interprocedural
+// rules set RunProgram and receive the module-wide call graph and summaries.
+// Exactly one of the two must be set.
 type Analyzer struct {
 	// Name is the rule family ("determinism", "lockorder", ...). Every
 	// finding the analyzer reports must use "Name" or "Name/<check>" as its
@@ -69,6 +71,9 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one type-checked package and reports findings.
 	Run func(*Pass)
+	// RunProgram inspects the whole module at once, over the interprocedural
+	// summaries of a Program.
+	RunProgram func(*ProgramPass)
 }
 
 // All returns the full rule catalog in reporting order.
@@ -80,6 +85,9 @@ func All() []*Analyzer {
 		Attribution,
 		ErrCheck,
 		SpanPair,
+		SecretFlow,
+		AtomicSafety,
+		LockGraph,
 	}
 }
 
@@ -104,19 +112,118 @@ func (p *Pass) Reportf(pos token.Pos, rule, format string, args ...any) {
 	*p.sink = append(*p.sink, Finding{Pos: position, Rule: rule, Msg: fmt.Sprintf(format, args...)})
 }
 
+// ProgramPass is the module-wide context handed to Analyzer.RunProgram.
+type ProgramPass struct {
+	Prog *Program
+
+	analyzer *Analyzer
+	allow    *allowIndex
+	fset     *token.FileSet
+	sink     *[]Finding
+}
+
+// Reportf records a finding unless an allow directive covers it.
+func (p *ProgramPass) Reportf(pos token.Pos, rule, format string, args ...any) {
+	if ruleFamily(rule) != p.analyzer.Name {
+		panic(fmt.Sprintf("analysis: analyzer %s reported foreign rule %s", p.analyzer.Name, rule))
+	}
+	position := p.fset.Position(pos)
+	if p.allow.allows(position, ruleFamily(rule)) {
+		return
+	}
+	*p.sink = append(*p.sink, Finding{Pos: position, Rule: rule, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Posn renders a position for use inside finding messages (trace steps).
+func (p *ProgramPass) Posn(pos token.Pos) string {
+	ps := p.fset.Position(pos)
+	return fmt.Sprintf("%s:%d", shortFile(ps.Filename), ps.Line)
+}
+
+// shortFile trims a filename to its last two path elements — enough to
+// identify "sgx/machine.go" without the noise of an absolute module path.
+func shortFile(name string) string {
+	slash := 0
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' || name[i] == '\\' {
+			slash++
+			if slash == 2 {
+				return name[i+1:]
+			}
+		}
+	}
+	return name
+}
+
+// Options configures Analyze.
+type Options struct {
+	// ReportStale adds stale //nescheck:allow directives to Result.Stale.
+	// Only set it when running the FULL catalog: a partial run cannot tell a
+	// stale directive from one whose rule was skipped.
+	ReportStale bool
+	// Prog, when non-nil, is reused instead of building the call graph from
+	// scratch (the loader's memoized program for lint-fast).
+	Prog *Program
+}
+
+// Result is Analyze's outcome.
+type Result struct {
+	Findings []Finding
+	// Stale holds one "nescheck/stale-allow" finding per directive that
+	// suppressed nothing (empty unless Options.ReportStale).
+	Stale []Finding
+}
+
 // Run applies the analyzers to every package and returns the surviving
 // findings sorted by position. Malformed //nescheck:allow directives are
 // reported under the non-suppressible rule "nescheck/bad-directive".
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	return Analyze(pkgs, analyzers, Options{}).Findings
+}
+
+// Analyze runs per-package analyzers package by package, builds the
+// interprocedural Program if any analyzer needs it, runs the program-level
+// analyzers, and optionally reports stale allow directives.
+func Analyze(pkgs []*Package, analyzers []*Analyzer, opts Options) Result {
 	var findings []Finding
+	merged := newAllowIndex()
 	for _, pkg := range pkgs {
 		idx, bad := buildAllowIndex(pkg)
 		findings = append(findings, bad...)
+		merged.absorb(idx)
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{Pkg: pkg, analyzer: a, allow: idx, sink: &findings}
 			a.Run(pass)
 		}
 	}
+	var prog *Program
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if prog == nil {
+			prog = opts.Prog
+			if prog == nil {
+				prog = BuildProgram(pkgs)
+			}
+			findings = append(findings, prog.badGuards...)
+		}
+		pass := &ProgramPass{Prog: prog, analyzer: a, allow: merged, fset: prog.fset, sink: &findings}
+		a.RunProgram(pass)
+	}
+	sortFindings(findings)
+	res := Result{Findings: findings}
+	if opts.ReportStale {
+		res.Stale = merged.stale()
+		sortFindings(res.Stale)
+	}
+	return res
+}
+
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -130,7 +237,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		return a.Rule < b.Rule
 	})
-	return findings
 }
 
 // pathMatches reports whether a package import path is, or ends with, the

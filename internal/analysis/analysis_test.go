@@ -61,8 +61,11 @@ func TestPathMatches(t *testing.T) {
 func TestAllCatalogIsWellFormed(t *testing.T) {
 	seen := map[string]bool{}
 	for _, a := range All() {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
+		if a.Name == "" || a.Doc == "" || (a.Run == nil && a.RunProgram == nil) {
 			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if a.Run != nil && a.RunProgram != nil {
+			t.Errorf("analyzer %q declares both Run and RunProgram", a.Name)
 		}
 		if !rulePattern.MatchString(a.Name) {
 			t.Errorf("analyzer name %q does not match the rule-family grammar", a.Name)
@@ -72,8 +75,8 @@ func TestAllCatalogIsWellFormed(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) != 6 {
-		t.Errorf("expected the 6 house analyzers, got %d", len(seen))
+	if len(seen) != 9 {
+		t.Errorf("expected the 9 house analyzers, got %d", len(seen))
 	}
 }
 
@@ -95,12 +98,13 @@ func TestModuleIsClean(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("loaded only %d packages; the loader is missing most of the tree", len(pkgs))
 	}
-	findings := Run(pkgs, All())
+	res := Analyze(pkgs, All(), Options{ReportStale: true})
+	findings := append(res.Findings, res.Stale...)
 	for _, f := range findings {
 		t.Errorf("%s", f)
 	}
 	if len(findings) > 0 {
-		t.Log("fix the findings or annotate with //nescheck:allow <rule> <reason>")
+		t.Log("fix the findings, annotate with //nescheck:allow <rule> <reason>, or delete the stale allow")
 	}
 }
 

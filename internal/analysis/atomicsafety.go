@@ -1,0 +1,179 @@
+package analysis
+
+// atomicsafety: three checks over the module-wide field-access index.
+//
+//   - mixed:       a field accessed through sync/atomic function-style calls
+//                  anywhere in the module must never be read or written
+//                  plainly anywhere else — a single plain access defeats the
+//                  whole protocol (the racing reader sees torn/stale state).
+//   - atomic-copy: a field of a typed sync/atomic value (atomic.Uint32 ring
+//                  slot states, Machine.assocEpoch) may only be used as a
+//                  method-call receiver or have its address taken; copying
+//                  the value out reads the underlying word non-atomically.
+//   - guard:       a field annotated //nescheck:guard mu may only be touched
+//                  with mu in the held-set (exclusively, for writes). The
+//                  requirement propagates interprocedurally: a helper that
+//                  touches the field lock-free is fine as long as every call
+//                  chain reaching it holds the lock; the finding is reported
+//                  at the outermost function that can be entered without it
+//                  (an exported function, or one with no in-module callers).
+import (
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicSafety is the interprocedural atomic/guarded field-access rule.
+var AtomicSafety = &Analyzer{
+	Name: "atomicsafety",
+	Doc:  "fields accessed via sync/atomic are never touched plainly; //nescheck:guard fields only with their lock held",
+	RunProgram: func(pass *ProgramPass) {
+		p := pass.Prog
+		// mixed: plain accesses to function-style atomic fields.
+		for _, fv := range sortedFields(fieldSet(p.atomicFields)) {
+			use := p.atomicFields[fv]
+			for _, acc := range p.fieldAccesses[fv] {
+				if acc.inCompositeLit {
+					continue
+				}
+				verb := "read"
+				if acc.write {
+					verb = "written"
+				}
+				if acc.addr {
+					verb = "address-taken"
+				}
+				pass.Reportf(acc.pos, "atomicsafety/mixed",
+					"field %s is accessed atomically elsewhere (%s in %s at %s) but %s plainly here",
+					fieldDisplay(fv), use.op, use.fn.name, pass.Posn(use.pos), verb)
+			}
+		}
+		// atomic-copy: non-method, non-address uses of typed atomic fields.
+		for _, fv := range typedAtomicFields(p) {
+			for _, acc := range p.fieldAccesses[fv] {
+				if acc.inCompositeLit || acc.addr {
+					continue
+				}
+				cite := ""
+				if use := p.typedAtomicUses[fv]; use != nil && use.fn != acc.fn {
+					cite = "; " + use.fn.name + " " + use.op + "s it atomically at " + pass.Posn(use.pos)
+				}
+				verb := "copied out"
+				if acc.write {
+					verb = "overwritten"
+				}
+				pass.Reportf(acc.pos, "atomicsafety/atomic-copy",
+					"field %s is a sync/atomic value but is %s plainly here — use its Load/Store methods%s",
+					fieldDisplay(fv), verb, cite)
+			}
+		}
+		// guard: an unprotected access is reported ONCE, at the access
+		// itself, when at least one call-graph root (an exported function,
+		// or one with no in-module callers) can reach it without the lock.
+		// A lock-free helper whose every entry path holds the guard stays
+		// silent — that is the interprocedural point of the rule.
+		callers := p.callersOf()
+		reported := make(map[token.Pos]bool)
+		for _, n := range p.nodes {
+			if n.guardNeeds == nil {
+				continue
+			}
+			if !n.obj.Exported() && len(callers[n]) > 0 {
+				continue // every entry into n is in-module; callers own the obligation
+			}
+			for _, guard := range sortedFields(guardSet(n.guardNeeds)) {
+				// Walk the witness chain from this root down to the seed —
+				// the function that actually touches the field.
+				seed, need := n, n.guardNeeds[guard]
+				seen := map[*funcNode]bool{n: true}
+				for need.next != nil && !seen[need.next] {
+					m := need.next
+					seen[m] = true
+					mNeed := m.guardNeeds[guard]
+					if mNeed == nil {
+						break
+					}
+					seed, need = m, mNeed
+				}
+				if reported[need.pos] {
+					continue // another root reaches the same access
+				}
+				reported[need.pos] = true
+				verb, lockVerb := "read", "held"
+				if need.write {
+					verb, lockVerb = "written", "held exclusively"
+				}
+				entry := ""
+				if seed != n {
+					entry = " — entered lock-free from " + n.name + guardTrace(pass, n, guard)
+				}
+				pass.Reportf(need.pos, "atomicsafety/guard",
+					"guarded field %s is %s without %s %s%s (declared //nescheck:guard %s at %s)",
+					fieldDisplay(need.field), verb, lockDisplay(guard), lockVerb, entry,
+					guard.Name(), pass.Posn(p.guardDirectivePos[need.field]))
+			}
+		}
+	},
+}
+
+// guardTrace reconstructs the call chain from a root's guard requirement down
+// to the function that actually touches the field.
+func guardTrace(pass *ProgramPass, n *funcNode, guard *types.Var) string {
+	need := n.guardNeeds[guard]
+	out := ""
+	seen := map[*funcNode]bool{n: true}
+	for need.next != nil && !seen[need.next] {
+		m := need.next
+		seen[m] = true
+		mNeed := m.guardNeeds[guard]
+		if mNeed == nil {
+			break
+		}
+		out += " -> " + m.name + " (" + pass.Posn(mNeed.pos) + ")"
+		need = mNeed
+	}
+	if out != "" {
+		out = " via" + out
+	}
+	return out
+}
+
+// typedAtomicFields lists every typed sync/atomic module field that appears
+// in the access index (uses or plain accesses), deterministically.
+func typedAtomicFields(p *Program) []*types.Var {
+	set := make(map[*types.Var]bool)
+	for fv := range p.typedAtomicUses {
+		set[fv] = true
+	}
+	for fv := range p.fieldAccesses {
+		if isTypedAtomicField(fv) {
+			set[fv] = true
+		}
+	}
+	return sortedFields(set)
+}
+
+func fieldSet(m map[*types.Var]*atomicUse) map[*types.Var]bool {
+	set := make(map[*types.Var]bool, len(m))
+	for fv := range m {
+		set[fv] = true
+	}
+	return set
+}
+
+func guardSet(m map[*types.Var]*guardNeed) map[*types.Var]bool {
+	set := make(map[*types.Var]bool, len(m))
+	for fv := range m {
+		set[fv] = true
+	}
+	return set
+}
+
+func sortedFields(set map[*types.Var]bool) []*types.Var {
+	out := make([]*types.Var, 0, len(set))
+	for fv := range set {
+		out = append(out, fv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}

@@ -1,0 +1,172 @@
+package analysis
+
+// Unit tests for the interprocedural layer: the call-graph summaries (lock
+// acquisition, transition reachability, taint) computed over the fixture
+// trees, and the branch-termination scanner.
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildFixtureProgram loads a fixture tree and builds its Program.
+func buildFixtureProgram(t *testing.T, rule string) *Program {
+	t.Helper()
+	abs := mustAbs(t, filepath.Join("testdata", "src", rule))
+	pkgs, err := LoadTree(abs, fixtureModule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildProgram(pkgs)
+}
+
+// nodeByName finds a funcNode by its display name ("svc.Pair.lockB").
+func nodeByName(t *testing.T, p *Program, name string) *funcNode {
+	t.Helper()
+	for _, n := range p.nodes {
+		if n.name == name {
+			return n
+		}
+	}
+	t.Fatalf("no function %q in program (%d nodes)", name, len(p.nodes))
+	return nil
+}
+
+func TestLockSummaries(t *testing.T) {
+	p := buildFixtureProgram(t, "lockgraph")
+
+	// Direct acquisition propagates into mayAcquire.
+	inner := nodeByName(t, p, "svc.S.inner")
+	if len(inner.mayAcquire) != 1 {
+		t.Errorf("svc.S.inner mayAcquire = %d locks, want 1", len(inner.mayAcquire))
+	}
+	// ...and transitively into callers.
+	outer := nodeByName(t, p, "svc.S.Outer")
+	if len(outer.mayAcquire) != 1 {
+		t.Errorf("svc.S.Outer mayAcquire = %d locks, want 1 (via inner)", len(outer.mayAcquire))
+	}
+
+	// RLock acquisition is marked shared.
+	peek := nodeByName(t, p, "svc.RW.peek")
+	for lock, w := range peek.mayAcquire {
+		if !w.shared {
+			t.Errorf("svc.RW.peek acquisition of %s not marked shared", lockDisplay(lock))
+		}
+	}
+
+	// Transition reachability: call2 reaches ECall, lockB does not.
+	call2 := nodeByName(t, p, "svc.Svc.call2")
+	if call2.trans == nil || call2.trans.name != "sdk.Enclave.ECall" {
+		t.Errorf("svc.Svc.call2 trans = %+v, want sdk.Enclave.ECall", call2.trans)
+	}
+	if lockB := nodeByName(t, p, "svc.Pair.lockB"); lockB.trans != nil {
+		t.Errorf("svc.Pair.lockB unexpectedly reaches a transition: %+v", lockB.trans)
+	}
+
+	// The dump names the cycle edges and the transition op.
+	var buf bytes.Buffer
+	p.DumpGraph(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"svc.A.Mu -> svc.B.Mu",
+		"svc.B.Mu -> svc.A.Mu",
+		"transition op: sdk.Enclave.ECall",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DumpGraph output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTaintSummaries(t *testing.T) {
+	p := buildFixtureProgram(t, "secretflow")
+
+	// fetch returns a secret: its return summary carries the source.
+	fetch := nodeByName(t, p, "driver.fetch")
+	if fetch.taint == nil || len(fetch.taint.retSources) == 0 {
+		t.Fatalf("driver.fetch has no return sources: %+v", fetch.taint)
+	}
+	if desc := fetch.taint.retSources[0].desc; desc != "an enclave sealing/report key" {
+		t.Errorf("driver.fetch return source desc = %q", desc)
+	}
+
+	// spill forwards param 1 (after the receiver-less func's Env param 0) to
+	// a sink.
+	spill := nodeByName(t, p, "driver.spill")
+	if spill.taint == nil {
+		t.Fatal("driver.spill has no taint summary")
+	}
+	found := false
+	for i, sinks := range spill.taint.paramSinks {
+		if len(sinks) > 0 && i == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("driver.spill param 1 has no sink summary: %+v", spill.taint.paramSinks)
+	}
+
+	// Sealed launders the key: no local flows.
+	sealed := nodeByName(t, p, "driver.Sealed")
+	if sealed.taint != nil && len(sealed.taint.localFlows) != 0 {
+		t.Errorf("driver.Sealed has unexpected flows: %+v", sealed.taint.localFlows)
+	}
+	// Direct leaks: exactly one local flow.
+	direct := nodeByName(t, p, "driver.Direct")
+	if direct.taint == nil || len(direct.taint.localFlows) != 1 {
+		t.Errorf("driver.Direct flows = %+v, want exactly 1", direct.taint)
+	}
+}
+
+func TestGuardSummaries(t *testing.T) {
+	p := buildFixtureProgram(t, "atomicsafety")
+
+	// The lock-free helper seeds a guard need...
+	set := nodeByName(t, p, "ring.H.set")
+	if len(set.guardNeeds) != 1 {
+		t.Fatalf("ring.H.set guardNeeds = %d, want 1", len(set.guardNeeds))
+	}
+	// ...the holding caller discharges it, the lock-free one inherits it.
+	locked := nodeByName(t, p, "ring.H.SetLocked")
+	if len(locked.guardNeeds) != 0 {
+		t.Errorf("ring.H.SetLocked inherited a guard need despite holding the lock: %+v", locked.guardNeeds)
+	}
+	unlocked := nodeByName(t, p, "ring.H.SetUnlocked")
+	if len(unlocked.guardNeeds) != 1 {
+		t.Errorf("ring.H.SetUnlocked guardNeeds = %d, want 1", len(unlocked.guardNeeds))
+	}
+}
+
+func TestTerminates(t *testing.T) {
+	cases := []struct {
+		body string
+		want bool
+	}{
+		{"return", true},
+		{"x := 1; _ = x; return", true},
+		{"break", true},
+		{"continue", true},
+		{"panic(1)", true},
+		{"{ return }", true},
+		{"x := 1; _ = x", false},
+		{"", false},
+		{"f()", false},
+	}
+	for _, c := range cases {
+		src := "package p\nfunc f() {\nfor {\n" + c.body + "\n}\n}"
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "t.go", src, 0)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", c.body, err)
+		}
+		fd := file.Decls[0].(*ast.FuncDecl)
+		loop := fd.Body.List[0].(*ast.ForStmt)
+		if got := terminates(loop.Body.List); got != c.want {
+			t.Errorf("terminates(%q) = %v, want %v", c.body, got, c.want)
+		}
+	}
+}

@@ -120,31 +120,41 @@ func TestAttributionFixture(t *testing.T) { runFixture(t, "attribution", []*Anal
 func TestErrCheckFixture(t *testing.T)    { runFixture(t, "errcheck", []*Analyzer{ErrCheck}) }
 func TestSpanPairFixture(t *testing.T)    { runFixture(t, "spanpair", []*Analyzer{SpanPair}) }
 
+func TestSecretFlowFixture(t *testing.T) { runFixture(t, "secretflow", []*Analyzer{SecretFlow}) }
+func TestAtomicSafetyFixture(t *testing.T) {
+	runFixture(t, "atomicsafety", []*Analyzer{AtomicSafety})
+}
+func TestLockGraphFixture(t *testing.T) { runFixture(t, "lockgraph", []*Analyzer{LockGraph}) }
+
 // TestMetaHarness proves the fixture runner itself cannot silently pass: the
 // meta tree contains a want annotation on a clean line (stale) and a real
 // violation with no want (unexpected), and checkFixture must flag both. If
 // this test fails, every green fixture test above is meaningless.
 func TestMetaHarness(t *testing.T) {
-	problems, err := checkFixture(filepath.Join("testdata", "src", "meta"), []*Analyzer{Determinism})
+	problems, err := checkFixture(filepath.Join("testdata", "src", "meta"), []*Analyzer{Determinism, LockGraph})
 	if err != nil {
 		t.Fatal(err)
 	}
-	var stale, unexpected bool
-	for _, p := range problems {
-		if strings.HasPrefix(p, "stale want ") && strings.Contains(p, "stale.go") {
-			stale = true
+	for _, wantProblem := range []struct{ prefix, file string }{
+		{"stale want ", "stale.go"},
+		{"unexpected finding ", "surprise.go"},
+		// The same two failure modes for a RunProgram (interprocedural)
+		// analyzer: green program-pass fixtures are meaningless otherwise.
+		{"stale want ", "progsurprise.go"},
+		{"unexpected finding ", "progsurprise.go"},
+	} {
+		found := false
+		for _, p := range problems {
+			if strings.HasPrefix(p, wantProblem.prefix) && strings.Contains(p, wantProblem.file) {
+				found = true
+			}
 		}
-		if strings.HasPrefix(p, "unexpected finding ") && strings.Contains(p, "surprise.go") {
-			unexpected = true
+		if !found {
+			t.Errorf("runner did not produce %q for %s; problems: %v",
+				wantProblem.prefix, wantProblem.file, problems)
 		}
 	}
-	if !stale {
-		t.Errorf("runner did not flag the stale want annotation; problems: %v", problems)
-	}
-	if !unexpected {
-		t.Errorf("runner did not flag the unannotated violation; problems: %v", problems)
-	}
-	if len(problems) != 2 {
-		t.Errorf("meta fixture should produce exactly 2 problems, got %d: %v", len(problems), problems)
+	if len(problems) != 4 {
+		t.Errorf("meta fixture should produce exactly 4 problems, got %d: %v", len(problems), problems)
 	}
 }

@@ -9,8 +9,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked package of the tree under analysis.
@@ -27,6 +29,11 @@ type Package struct {
 	Types *types.Package
 	// Info carries the type-checker's expression/object tables.
 	Info *types.Info
+}
+
+// ModulePathOf reads the module path from dir's go.mod.
+func ModulePathOf(dir string) (string, error) {
+	return modulePath(filepath.Join(dir, "go.mod"))
 }
 
 // LoadModule loads the Go module rooted at dir (the directory holding
@@ -46,6 +53,29 @@ func LoadModule(dir string) ([]*Package, error) {
 // Intra-module imports resolve against the loaded tree; everything else is
 // type-checked from the standard library's source.
 func LoadTree(root, modPath string) ([]*Package, error) {
+	return LoadTreeOverlay(root, modPath, nil)
+}
+
+// LoadTreeOverlay is LoadTree with a file overlay: keys are paths relative to
+// root (slash-separated), values replace the on-disk content, and a key whose
+// file does not exist on disk adds a new file to its directory's package.
+// Used by the fault-injection tests to plant a bug in the real module and
+// prove the analyzers catch it, without touching the working tree.
+func LoadTreeOverlay(root, modPath string, overlay map[string][]byte) ([]*Package, error) {
+	return loadTree(root, modPath, overlay, nil)
+}
+
+// LoadTreeSubset type-checks only the packages satisfying keep plus their
+// intra-module dependency closure, and returns just those. Parsing still
+// covers the whole tree (it is cheap and the import graph needs it); the
+// savings are in type-checking, which dominates a full load. Used by
+// `nescheck -fast` to analyze only changed packages — cross-package rules see
+// only the subset, so a full run remains the authority.
+func LoadTreeSubset(root, modPath string, keep func(pkgPath string) bool) ([]*Package, error) {
+	return loadTree(root, modPath, nil, keep)
+}
+
+func loadTree(root, modPath string, overlay map[string][]byte, keep func(string) bool) ([]*Package, error) {
 	fset := token.NewFileSet()
 	dirs, err := packageDirs(root)
 	if err != nil {
@@ -74,8 +104,42 @@ func LoadTree(root, modPath string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Overlay keys in this directory that name new files join the list.
+		for key := range overlay {
+			dir, base := filepath.ToSlash(filepath.Dir(key)), filepath.Base(key)
+			if dir == "." {
+				dir = ""
+			}
+			relSlash := filepath.ToSlash(rel)
+			if relSlash == "." {
+				relSlash = ""
+			}
+			if dir != relSlash {
+				continue
+			}
+			found := false
+			for _, n := range names {
+				if n == base {
+					found = true
+				}
+			}
+			if !found {
+				names = append(names, base)
+			}
+		}
+		sort.Strings(names)
 		for _, name := range names {
-			f, err := parser.ParseFile(fset, filepath.Join(d, name), nil, parser.ParseComments)
+			full := filepath.Join(d, name)
+			var src any
+			if overlay != nil {
+				relFile, err := filepath.Rel(root, full)
+				if err == nil {
+					if b, ok := overlay[filepath.ToSlash(relFile)]; ok {
+						src = b
+					}
+				}
+			}
+			f, err := parser.ParseFile(fset, full, src, parser.ParseComments)
 			if err != nil {
 				return nil, fmt.Errorf("analysis: parse: %w", err)
 			}
@@ -102,50 +166,136 @@ func LoadTree(root, modPath string) ([]*Package, error) {
 		return nil, err
 	}
 
-	checked := make(map[string]*types.Package)
+	// Subset filter: keep the requested packages plus their dependency
+	// closure. Reverse topo order marks importers before their imports.
+	if keep != nil {
+		needed := make(map[string]bool)
+		for i := len(sorted) - 1; i >= 0; i-- {
+			path := sorted[i]
+			if keep(path) {
+				needed[path] = true
+			}
+			if needed[path] {
+				for _, dep := range byPath[path].imports {
+					if byPath[dep] != nil {
+						needed[dep] = true
+					}
+				}
+			}
+		}
+		subset := sorted[:0]
+		for _, path := range sorted {
+			if needed[path] {
+				subset = append(subset, path)
+			}
+		}
+		sorted = subset
+	}
+
 	imp := &moduleImporter{
-		module: checked,
+		module: make(map[string]*types.Package),
 		stdlib: importer.ForCompiler(fset, "source", nil),
 	}
-	var pkgs []*Package
+
+	// Type-check concurrently, topo order respected through per-package done
+	// channels: a package starts once its intra-module imports are published.
+	// The FileSet is internally synchronized; the importer synchronizes its
+	// two caches itself. The semaphore is acquired only after the waits, so
+	// there is no hold-and-wait deadlock.
+	type job struct {
+		done chan struct{}
+		pkg  *Package
+		err  error
+	}
+	jobs := make(map[string]*job, len(sorted))
 	for _, path := range sorted {
-		p := byPath[path]
-		info := &types.Info{
-			Types:      make(map[ast.Expr]types.TypeAndValue),
-			Defs:       make(map[*ast.Ident]types.Object),
-			Uses:       make(map[*ast.Ident]types.Object),
-			Selections: make(map[*ast.SelectorExpr]*types.Selection),
-			Implicits:  make(map[ast.Node]types.Object),
+		jobs[path] = &job{done: make(chan struct{})}
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for _, path := range sorted {
+		wg.Add(1)
+		go func(path string, j *job) {
+			defer wg.Done()
+			defer close(j.done)
+			p := byPath[path]
+			for _, dep := range p.imports {
+				dj := jobs[dep]
+				if dj == nil {
+					continue // import outside the loaded tree
+				}
+				<-dj.done
+				if dj.err != nil {
+					j.err = fmt.Errorf("analysis: %s: dependency failed: %w", path, dj.err)
+					return
+				}
+			}
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			info := &types.Info{
+				Types:      make(map[ast.Expr]types.TypeAndValue),
+				Defs:       make(map[*ast.Ident]types.Object),
+				Uses:       make(map[*ast.Ident]types.Object),
+				Selections: make(map[*ast.SelectorExpr]*types.Selection),
+				Implicits:  make(map[ast.Node]types.Object),
+			}
+			conf := types.Config{Importer: imp}
+			tpkg, err := conf.Check(path, fset, p.files, info)
+			if err != nil {
+				j.err = fmt.Errorf("analysis: typecheck %s: %w", path, err)
+				return
+			}
+			imp.publish(path, tpkg)
+			j.pkg = &Package{
+				Path:  path,
+				Name:  p.name,
+				Fset:  fset,
+				Files: p.files,
+				Types: tpkg,
+				Info:  info,
+			}
+		}(path, jobs[path])
+	}
+	wg.Wait()
+
+	pkgs := make([]*Package, 0, len(sorted))
+	for _, path := range sorted {
+		j := jobs[path]
+		if j.err != nil {
+			return nil, j.err
 		}
-		conf := types.Config{Importer: imp}
-		tpkg, err := conf.Check(path, fset, p.files, info)
-		if err != nil {
-			return nil, fmt.Errorf("analysis: typecheck %s: %w", path, err)
-		}
-		checked[path] = tpkg
-		pkgs = append(pkgs, &Package{
-			Path:  path,
-			Name:  p.name,
-			Fset:  fset,
-			Files: p.files,
-			Types: tpkg,
-			Info:  info,
-		})
+		pkgs = append(pkgs, j.pkg)
 	}
 	return pkgs, nil
 }
 
 // moduleImporter serves already-checked module packages and defers the rest
-// to the standard library's source importer.
+// to the standard library's source importer. Both sides are synchronized:
+// module packages behind an RWMutex, the stdlib source importer (whose
+// package cache is not safe for concurrent use) behind its own mutex.
 type moduleImporter struct {
+	mu     sync.RWMutex
 	module map[string]*types.Package
+
+	stdMu  sync.Mutex
 	stdlib types.Importer
 }
 
+func (m *moduleImporter) publish(path string, pkg *types.Package) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.module[path] = pkg
+}
+
 func (m *moduleImporter) Import(path string) (*types.Package, error) {
-	if p, ok := m.module[path]; ok {
+	m.mu.RLock()
+	p, ok := m.module[path]
+	m.mu.RUnlock()
+	if ok {
 		return p, nil
 	}
+	m.stdMu.Lock()
+	defer m.stdMu.Unlock()
 	return m.stdlib.Import(path)
 }
 

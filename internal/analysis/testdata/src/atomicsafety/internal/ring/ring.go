@@ -1,0 +1,86 @@
+// Fixture: mixed atomic/plain accesses, typed-atomic copies, and
+// //nescheck:guard violations — including the interprocedural case where a
+// lock-free helper is fine under one caller and a finding under another.
+package ring
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type R struct {
+	head uint64
+	tail atomic.Uint32
+}
+
+// Bump establishes head as an atomically-accessed field module-wide.
+func (r *R) Bump() {
+	atomic.AddUint64(&r.head, 1)
+}
+
+// Racy: a plain read of a field accessed atomically elsewhere.
+func (r *R) Racy() uint64 {
+	return r.head // want "atomicsafety/mixed: field ring.R.head is accessed atomically elsewhere .* but read plainly here"
+}
+
+// Copy: a typed sync/atomic value copied out reads the word non-atomically.
+func (r *R) Copy() uint32 {
+	cp := r.tail // want "atomicsafety/atomic-copy: field ring.R.tail is a sync/atomic value but is copied out plainly here"
+	return cp.Load()
+}
+
+// Good: method-receiver use is the only legal access. Clean.
+func (r *R) Good() uint32 {
+	return r.tail.Load()
+}
+
+type G struct {
+	mu sync.RWMutex
+	n  int //nescheck:guard mu
+}
+
+// Bad: an exported entry reading the guarded field lock-free.
+func (g *G) Bad() int {
+	return g.n // want "atomicsafety/guard: guarded field ring.G.n is read without ring.G.mu held"
+}
+
+// Get: a shared hold satisfies a read. Clean.
+func (g *G) Get() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.n
+}
+
+// WriteShared: a write needs the exclusive lock; RLock is not enough.
+func (g *G) WriteShared(v int) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.n = v // want "atomicsafety/guard: guarded field ring.G.n is written without ring.G.mu held exclusively"
+}
+
+type H struct {
+	mu sync.Mutex
+	n  int //nescheck:guard mu
+}
+
+// set is the lock-free helper: the obligation falls on its callers.
+func (h *H) set(v int) {
+	h.n = v // want "atomicsafety/guard: guarded field ring.H.n is written without ring.H.mu held exclusively — entered lock-free from ring.H.SetUnlocked"
+}
+
+// SetLocked discharges the obligation. Clean — and keeps set itself clean.
+func (h *H) SetLocked(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.set(v)
+}
+
+// SetUnlocked is the lock-free entry path that makes set a finding (reported
+// at the access in set, citing this entry).
+func (h *H) SetUnlocked(v int) {
+	h.set(v)
+}
+
+type Malformed struct {
+	x int /* want "nescheck/bad-directive: nescheck:guard needs the sibling mutex field name" */ //nescheck:guard
+}

@@ -1,0 +1,7 @@
+// Fixture stand-in for the sdk: Enclave.ECall is a configured domain
+// transition.
+package sdk
+
+type Enclave struct{}
+
+func (e *Enclave) ECall(name string, args []byte) ([]byte, error) { return nil, nil }

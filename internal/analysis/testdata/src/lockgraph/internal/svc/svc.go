@@ -1,0 +1,104 @@
+// Fixture: the global lock graph. Self-cycles through a callee, a two-lock
+// cycle whose halves live in different functions, permitted RLock
+// reentrancy, and locks held across a domain transition (directly and
+// through a helper).
+package svc
+
+import (
+	"sync"
+
+	"fix/internal/sdk"
+)
+
+type A struct{ Mu sync.Mutex }
+type B struct{ Mu sync.Mutex }
+
+type Pair struct {
+	A *A
+	B *B
+}
+
+func (p *Pair) lockB() {
+	p.B.Mu.Lock()
+	p.B.Mu.Unlock()
+}
+
+func (p *Pair) lockA() {
+	p.A.Mu.Lock()
+	p.A.Mu.Unlock()
+}
+
+// AB holds A while a callee acquires B...
+func (p *Pair) AB() {
+	p.A.Mu.Lock()
+	p.lockB() // want "lockgraph/cycle: lock-acquisition cycle: svc.A.Mu -> svc.B.Mu .* -> svc.A.Mu"
+	p.A.Mu.Unlock()
+}
+
+// ...and BA holds B while a callee acquires A: together a cycle, reported
+// once at the first edge's witness.
+func (p *Pair) BA() {
+	p.B.Mu.Lock()
+	p.lockA()
+	p.B.Mu.Unlock()
+}
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) inner() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+// Outer re-acquires its own lock through inner: self-deadlock.
+func (s *S) Outer() {
+	s.mu.Lock()
+	s.inner() // want "lockgraph/self-cycle: svc.S.mu acquired in svc.S.Outer via svc.S.inner while already held"
+	s.mu.Unlock()
+}
+
+type RW struct{ mu sync.RWMutex }
+
+func (r *RW) peek() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return 0
+}
+
+// Read holds the read lock while peek re-acquires it shared: permitted
+// reentrancy, clean.
+func (r *RW) Read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.peek()
+}
+
+type Svc struct {
+	mu sync.Mutex
+	e  *sdk.Enclave
+}
+
+// BadCall crosses the boundary with the lock held.
+func (s *Svc) BadCall() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = s.e.ECall("x", nil) // want "lockgraph/held-transition: svc.Svc.mu held across domain transition sdk.Enclave.ECall"
+}
+
+// GoodCall releases first. Clean.
+func (s *Svc) GoodCall() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	_, _ = s.e.ECall("x", nil)
+}
+
+func (s *Svc) call2() {
+	_, _ = s.e.ECall("y", nil)
+}
+
+// BadNested reaches the transition through a helper.
+func (s *Svc) BadNested() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.call2() // want "lockgraph/held-transition: svc.Svc.mu held across domain transition sdk.Enclave.ECall \(via svc.Svc.call2 -> sdk.Enclave.ECall\)"
+}

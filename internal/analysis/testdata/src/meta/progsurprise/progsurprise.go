@@ -1,0 +1,26 @@
+// Meta fixture: an interprocedural (program-pass) violation with no want
+// annotation, plus a stale want on a clean line — the runner must flag both
+// for RunProgram analyzers exactly as it does for per-package ones.
+package progsurprise
+
+import "sync"
+
+type T struct{ mu sync.Mutex }
+
+func (t *T) inner() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+}
+
+// Outer self-deadlocks through inner; the missing want must be reported.
+func (t *T) Outer() {
+	t.mu.Lock()
+	t.inner()
+	t.mu.Unlock()
+}
+
+// Fine is clean; the want below is stale and must be reported.
+func (t *T) Fine() {
+	t.mu.Lock() // want "lockgraph/self-cycle: never happens"
+	t.mu.Unlock()
+}

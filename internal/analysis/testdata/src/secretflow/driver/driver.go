@@ -1,0 +1,66 @@
+// Fixture: secrets born from the source catalog must not reach sinks except
+// through a Seal/Encrypt/MAC sanitizer. Flows are tracked across calls, so
+// both the helper that returns a secret and the helper that forwards its
+// parameter to a sink participate in findings reported at the completing
+// call site.
+package driver
+
+import (
+	"fmt"
+
+	"fix/internal/kos"
+	"fix/internal/sdk"
+)
+
+// Direct: source straight into a sink in one function.
+func Direct(e *sdk.Env) {
+	key := e.GetKey(1)
+	_, _ = e.OCall("kx", key) // want "secretflow/leak: an enclave sealing/report key.* reaches ocall arguments leaving the enclave"
+}
+
+// Sealed: the sanitizer launders the key. Clean.
+func Sealed(e *sdk.Env) {
+	key := e.GetKey(1)
+	_, _ = e.OCall("kx", sdk.SealBlob(key))
+}
+
+// fetch returns a secret: callers inherit the taint via the return summary.
+func fetch(e *sdk.Env) []byte {
+	return e.GetKey(2)
+}
+
+// Indirect: the secret is born in fetch, leaks here.
+func Indirect(e *sdk.Env, s *kos.IPCService) {
+	k := fetch(e)
+	_ = s.Send("chan", k) // want "secretflow/leak: an enclave sealing/report key, born in driver.fetch .* reaches the kernel-visible IPC channel"
+}
+
+// spill forwards its parameter to a sink: callers passing secrets leak.
+func spill(e *sdk.Env, b []byte) {
+	_, _ = e.OCall("n", b)
+}
+
+// ViaHelper: the flow completes through spill's param→sink summary.
+func ViaHelper(e *sdk.Env) {
+	spill(e, e.GetKey(3)) // want "secretflow/leak: an enclave sealing/report key.* reaches ocall arguments leaving the enclave"
+}
+
+// Print: the fmt family is a stdout sink.
+func Print(e *sdk.Env) {
+	fmt.Println(e.GetKey(4)) // want "secretflow/leak: an enclave sealing/report key.* reaches the process stdout"
+}
+
+// ErrOnly: the error result of a source call carries no taint. Clean.
+func ErrOnly(e *sdk.Env, blob []byte) error {
+	_, err := e.Unseal(blob)
+	return err
+}
+
+// Plaintext: the data result of Unseal does.
+func Plaintext(e *sdk.Env, blob []byte) {
+	pt, err := e.Unseal(blob)
+	if err != nil {
+		return
+	}
+	fmt.Println(string(pt)) // want "secretflow/leak: unsealed blob plaintext.* reaches the process stdout"
+}

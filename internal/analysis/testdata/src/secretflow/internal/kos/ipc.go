@@ -1,0 +1,7 @@
+// Fixture stand-in for the kernel IPC service: Send's payload (index 1) is a
+// configured kernel-visible sink.
+package kos
+
+type IPCService struct{}
+
+func (s *IPCService) Send(channel string, payload []byte) error { return nil }

@@ -1,0 +1,17 @@
+// Fixture stand-in for the trusted runtime: sources (GetKey, Unseal), a sink
+// (OCall), and a sanitizer (SealBlob) with the same shapes as the real sdk.
+package sdk
+
+type Env struct{}
+
+// GetKey is a configured secret source.
+func (e *Env) GetKey(sel uint32) []byte { return make([]byte, 16) }
+
+// Unseal is a configured secret source (the plaintext result, not the error).
+func (e *Env) Unseal(blob []byte) ([]byte, error) { return append([]byte(nil), blob...), nil }
+
+// OCall is a configured sink: args (index 1) leave the trusted boundary.
+func (e *Env) OCall(name string, args []byte) ([]byte, error) { return nil, nil }
+
+// SealBlob is a sanitizer by name: its result is safe to publish.
+func SealBlob(b []byte) []byte { return append([]byte("sealed:"), b...) }

@@ -27,7 +27,7 @@ type Kernel struct {
 
 	m *sgx.Machine
 	// freeFrames holds unreserved physical page numbers.
-	freeFrames []uint64
+	freeFrames []uint64 //nescheck:guard mu
 
 	Driver *Driver
 	IPC    *IPCService
@@ -57,6 +57,7 @@ func New(m *sgx.Machine) *Kernel {
 		if ppn == 0 {
 			continue // keep the null frame unmapped
 		}
+		//nescheck:allow atomicsafety constructor fills the free list before k is published; no other goroutine can hold a reference yet
 		k.freeFrames = append(k.freeFrames, ppn)
 	}
 	k.Driver = &Driver{k: k, evicted: make(map[evictKey]*sgx.EvictedPage)}

@@ -35,10 +35,11 @@ type Supervisor struct {
 	si  *SignedImage
 	cfg SupervisorConfig
 
-	mu       sync.Mutex
-	e        *Enclave
-	sealed   []byte
-	restarts int
+	mu         sync.Mutex
+	e          *Enclave
+	sealed     []byte
+	restarts   int
+	restarting bool
 }
 
 // Supervise loads the image and returns its supervisor.
@@ -124,24 +125,46 @@ func (s *Supervisor) Crashed(err error) bool {
 // reloads the image under the retry policy, re-establishes associations via
 // OnRestart, and replays the sealed checkpoint into RestoreECall.
 func (s *Supervisor) Restart() error {
+	// s.mu is NOT held across the teardown/reload/restore sequence: the
+	// restore is an ECall into the fresh enclave, and holding the supervisor
+	// lock across a domain transition would stall every concurrent
+	// Enclave()/Call() for the full restore (and deadlock outright if the
+	// restore path ever routed back through the supervisor). Instead the
+	// lock is taken briefly to claim the restart (the `restarting` latch
+	// serializes concurrent attempts) and again at the end to publish the
+	// fresh instance, which until then is private to this goroutine.
+	// Flagged by nescheck lockgraph/held-transition.
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.restarting {
+		s.mu.Unlock()
+		return fmt.Errorf("sdk: supervisor for %s: restart already in progress: %w",
+			s.si.Image.Name, chaos.ErrTransient)
+	}
 	maxR := s.cfg.MaxRestarts
 	if maxR <= 0 {
 		maxR = 8
 	}
 	if s.restarts >= maxR {
+		s.mu.Unlock()
 		return fmt.Errorf("sdk: supervisor for %s: restart limit (%d) reached", s.si.Image.Name, maxR)
 	}
 	s.restarts++
+	s.restarting = true
+	old := s.e
+	s.e = nil
+	sealed := s.sealed // Checkpoint replaces the slice wholesale, never mutates it
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.restarting = false
+		s.mu.Unlock()
+	}()
 	m := s.h.K.Machine()
 	// The restart is machine-global work (teardown, reload, restore); its
 	// span opens on NoCore so injected faults cured by the reload retries
 	// show up inside it.
 	sp := m.Rec.BeginSpan(trace.NoCore, trace.NoEID, "restart:"+s.si.Image.Name)
 	defer sp.End()
-	old := s.e
-	s.e = nil
 	var poisonReason string
 	if old != nil {
 		poisonReason, _ = m.PoisonedReason(old.secs.EID)
@@ -167,13 +190,15 @@ func (s *Supervisor) Restart() error {
 			return fmt.Errorf("sdk: supervisor rewire of %s: %w", s.si.Image.Name, err)
 		}
 	}
-	if s.cfg.RestoreECall != "" && len(s.sealed) > 0 {
-		if _, err := fresh.ECall(s.cfg.RestoreECall, s.sealed); err != nil {
+	if s.cfg.RestoreECall != "" && len(sealed) > 0 {
+		if _, err := fresh.ECall(s.cfg.RestoreECall, sealed); err != nil {
 			_ = s.h.Destroy(fresh)
 			return fmt.Errorf("sdk: supervisor restore of %s: %w", s.si.Image.Name, err)
 		}
 	}
+	s.mu.Lock()
 	s.e = fresh
+	s.mu.Unlock()
 	// A restart that cures an MEE-integrity poisoning is the recovery arm
 	// of the DRAM bit-flip fault site.
 	if strings.Contains(poisonReason, "MEE integrity") {

@@ -144,7 +144,7 @@ type Machine struct {
 	// callback fires from inside the cache hierarchy on the read-locked
 	// access path, where mu cannot be upgraded.
 	pmu      sync.Mutex
-	poisoned map[isa.EID]string
+	poisoned map[isa.EID]string //nescheck:guard pmu
 }
 
 // New builds a machine with the baseline SGX validator and tracker.

@@ -130,7 +130,7 @@ type Engine struct {
 	notify  chan struct{}
 	stop    chan struct{}
 	stopped atomic.Bool
-	started bool
+	started bool //nescheck:guard mu
 	mu      sync.Mutex
 	wg      sync.WaitGroup
 
